@@ -1,0 +1,66 @@
+// Command memexd runs a Memex server over a synthetic Web world.
+//
+// In the paper's deployment the server tapped volunteers' Netscape
+// browsers; this daemon substitutes the DESIGN.md S17 world (a generated
+// topical Web plus, optionally, a pre-played community trace) and exposes
+// the full servlet API on -addr. Point cmd/memexctl or any HTTP client at
+// it.
+//
+// Usage:
+//
+//	memexd -addr :8600 -dir /tmp/memex -seed 7 -replay 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"memex"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8600", "listen address")
+		dir    = flag.String("dir", "", "storage directory (required)")
+		seed   = flag.Int64("seed", 7, "world seed")
+		replay = flag.Int("replay", 0, "pre-play this many simulated community visits (0 = none)")
+		themes = flag.Duration("themes", time.Minute, "theme-rebuild demon interval (0 = manual)")
+		train  = flag.Duration("train", 30*time.Second, "classifier-retrain demon interval (0 = manual)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "memexd: -dir is required")
+		os.Exit(2)
+	}
+
+	world := memex.GenerateWorld(memex.WorldConfig{Seed: *seed})
+	m, err := memex.Open(memex.Config{
+		Dir:           *dir,
+		Source:        world.Source(),
+		ThemeInterval: *themes,
+		TrainInterval: *train,
+	})
+	if err != nil {
+		log.Fatalf("memexd: %v", err)
+	}
+	defer m.Close()
+
+	if *replay > 0 {
+		log.Printf("replaying %d simulated visits from %d users…", *replay, len(world.Trace.Users))
+		n, err := m.ReplayTrace(world, *replay)
+		if err != nil {
+			log.Fatalf("memexd: replay: %v", err)
+		}
+		m.DrainBackground()
+		m.RetrainClassifiers()
+		st := m.RebuildThemes()
+		log.Printf("replayed %d visits; %d themes discovered", n, st.Themes)
+	}
+
+	log.Printf("memex server listening on %s (world seed %d, %d pages)",
+		*addr, *seed, len(world.Corpus.Pages))
+	log.Fatal(m.Serve(*addr))
+}

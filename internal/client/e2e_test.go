@@ -1,0 +1,226 @@
+package client_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"memex/internal/client"
+	"memex/internal/core"
+	"memex/internal/kvstore"
+	"memex/internal/server"
+	"memex/internal/webcorpus"
+)
+
+// corpusSource adapts the synthetic web to the engine's PageSource.
+type corpusSource struct {
+	c *webcorpus.Corpus
+}
+
+func (s corpusSource) Lookup(url string) (core.Content, bool) {
+	id, ok := s.c.ByURL[url]
+	if !ok {
+		return core.Content{}, false
+	}
+	p := s.c.Page(id)
+	links := make([]string, 0, len(p.Links))
+	for _, l := range p.Links {
+		links = append(links, s.c.Page(l).URL)
+	}
+	return core.Content{URL: p.URL, Title: p.Title, Text: p.Text, Links: links}, true
+}
+
+func newTestServer(t *testing.T) (*webcorpus.Corpus, *core.Engine, *client.Client) {
+	t.Helper()
+	c := webcorpus.Generate(webcorpus.Config{Seed: 9, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 15})
+	e, err := core.Open(core.Config{
+		Dir:    t.TempDir(),
+		Source: corpusSource{c},
+		KV:     kvstore.Options{Sync: kvstore.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(e))
+	t.Cleanup(func() {
+		ts.Close()
+		e.Close()
+	})
+	return c, e, client.New(ts.URL)
+}
+
+var tBase = time.Date(2000, 5, 21, 10, 0, 0, 0, time.UTC)
+
+func TestEndToEndVisitSearch(t *testing.T) {
+	c, e, cl := newTestServer(t)
+	if err := cl.Register(1, "alice"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	leaf := c.Leaves()[0]
+	var visited int
+	for _, pid := range c.LeafPages[leaf.ID] {
+		p := c.Page(pid)
+		if p.Front {
+			continue
+		}
+		if err := cl.Visit(1, p.URL, "", tBase, "community"); err != nil {
+			t.Fatalf("Visit: %v", err)
+		}
+		visited++
+		if visited == 6 {
+			break
+		}
+	}
+	e.DrainBackground()
+
+	top := c.Topics[leaf.Parent]
+	hits, err := cl.Search(1, top.Name+"_"+leaf.Name+"01", 5)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits over HTTP")
+	}
+
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Visits != int64(visited) {
+		t.Fatalf("Status.Visits = %d, want %d", st.Visits, visited)
+	}
+}
+
+func TestEndToEndBookmarkThemesRecommend(t *testing.T) {
+	c, e, cl := newTestServer(t)
+	leaves := c.Leaves()
+	for u := int64(1); u <= 3; u++ {
+		cl.Register(u, "user")
+		leaf := leaves[0]
+		if u == 3 {
+			leaf = leaves[3]
+		}
+		n := 0
+		for _, pid := range c.LeafPages[leaf.ID] {
+			p := c.Page(pid)
+			if p.Front {
+				continue
+			}
+			cl.Bookmark(u, p.URL, "/interest", tBase)
+			cl.Visit(u, p.URL, "", tBase.Add(time.Duration(n)*time.Minute), "community")
+			n++
+			if n == 6 {
+				break
+			}
+		}
+	}
+	e.DrainBackground()
+
+	st, err := cl.RebuildThemes()
+	if err != nil {
+		t.Fatalf("RebuildThemes: %v", err)
+	}
+	if st.Themes == 0 {
+		t.Fatal("no themes")
+	}
+	ths, err := cl.Themes()
+	if err != nil || len(ths) == 0 {
+		t.Fatalf("Themes: %v (%d)", err, len(ths))
+	}
+	weights, err := cl.Profile(1)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if len(weights) == 0 {
+		t.Fatal("empty profile over HTTP")
+	}
+	recs, err := cl.Recommend(1, 5, "")
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	_ = recs // may be empty if peers saw nothing new; API must not error
+}
+
+func TestEndToEndImportExport(t *testing.T) {
+	c, _, cl := newTestServer(t)
+	cl.Register(1, "alice")
+	p := c.Page(c.LeafPages[c.Leaves()[0].ID][0])
+	src := `<!DOCTYPE NETSCAPE-Bookmark-file-1>
+<DL><p>
+    <DT><H3>Research</H3>
+    <DL><p>
+        <DT><A HREF="` + p.URL + `" ADD_DATE="958800000">Seed</A>
+    </DL><p>
+</DL><p>`
+	n, err := cl.ImportBookmarks(1, strings.NewReader(src))
+	if err != nil || n != 1 {
+		t.Fatalf("Import: n=%d err=%v", n, err)
+	}
+	out, err := cl.ExportBookmarks(1)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if !strings.Contains(out, p.URL) || !strings.Contains(out, "Research") {
+		t.Fatal("export incomplete")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, _, cl := newTestServer(t)
+	if err := cl.Register(0, ""); err == nil {
+		t.Fatal("bad register accepted")
+	}
+	if err := cl.Visit(0, "", "", tBase, ""); err == nil {
+		t.Fatal("bad visit accepted")
+	}
+	if err := cl.Bookmark(1, "", "", tBase); err == nil {
+		t.Fatal("bad bookmark accepted")
+	}
+	if _, err := cl.Search(1, "", 5); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := cl.Trails(0, "", 5); err == nil {
+		t.Fatal("bad trails request accepted")
+	}
+	if err := cl.Correct(1, "http://never-seen.example/", "/x"); err == nil {
+		t.Fatal("correct on unknown page accepted")
+	}
+}
+
+func TestPrivacyOverHTTP(t *testing.T) {
+	c, e, cl := newTestServer(t)
+	cl.Register(1, "alice")
+	cl.Register(2, "bob")
+	var content []*webcorpus.Page
+	for _, pid := range c.LeafPages[c.Leaves()[0].ID] {
+		if p := c.Page(pid); !p.Front {
+			content = append(content, p)
+		}
+	}
+	cl.Visit(1, content[0].URL, "", tBase, "private")
+	cl.Visit(1, content[1].URL, "", tBase, "off")
+	e.DrainBackground()
+
+	st, _ := cl.Status()
+	if st.Visits != 1 {
+		t.Fatalf("Visits = %d: off-mode visit recorded", st.Visits)
+	}
+	// Bob cannot find alice's private page.
+	words := strings.Fields(content[0].Text)
+	var q []string
+	for _, w := range words {
+		if strings.Contains(w, "_") {
+			q = append(q, w)
+			if len(q) == 3 {
+				break
+			}
+		}
+	}
+	hits, _ := cl.Search(2, strings.Join(q, " "), 20)
+	for _, h := range hits {
+		if h.URL == content[0].URL {
+			t.Fatal("private page visible to another user over HTTP")
+		}
+	}
+}

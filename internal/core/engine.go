@@ -1,0 +1,377 @@
+// Package core assembles every Memex subsystem into the server engine of
+// Figure 3: the RDBMS holds page/link/user/topic metadata, the kvstore
+// holds term-level statistics, the version store coordinates the single
+// producer (the fetch/index path) with its consumers (classifier and theme
+// demons), the event queue separates the guaranteed-immediate foreground
+// path from asynchronous analysis, and the demon pool keeps the background
+// mining running and restartable.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memex/internal/classify"
+	"memex/internal/demon"
+	"memex/internal/events"
+	"memex/internal/folders"
+	"memex/internal/graph"
+	"memex/internal/kvstore"
+	"memex/internal/rdbms"
+	"memex/internal/text"
+	"memex/internal/textindex"
+	"memex/internal/themes"
+	"memex/internal/version"
+)
+
+// Content is a resolved web page: what the fetch demon obtains for a URL.
+type Content struct {
+	URL   string
+	Title string
+	Text  string
+	Links []string
+}
+
+// PageSource resolves URLs to content. Production Memex fetches the live
+// Web; this reproduction plugs in the synthetic webcorpus (DESIGN.md S17).
+type PageSource interface {
+	Lookup(url string) (Content, bool)
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Dir is the storage directory (required).
+	Dir string
+	// Source resolves page content (required).
+	Source PageSource
+	// KV configures the backing kvstore.
+	KV kvstore.Options
+	// QueueSize bounds the background event queue (default 4096).
+	QueueSize int
+	// Workers is the number of analyzer demons (default 2).
+	Workers int
+	// ThemeInterval rebuilds the community taxonomy periodically
+	// (0 = only on demand via RebuildThemes).
+	ThemeInterval time.Duration
+	// TrainInterval retrains per-user classifiers periodically
+	// (0 = only on demand via RetrainClassifiers).
+	TrainInterval time.Duration
+	// Now injects a clock for tests (default time.Now).
+	Now func() time.Time
+}
+
+// Engine is an embedded Memex server core.
+type Engine struct {
+	cfg   Config
+	db    *rdbms.DB
+	kv    *kvstore.Store
+	vs    *version.Store
+	dict  *text.Dict
+	corp  *text.Corpus
+	idx   *textindex.Index
+	g     *graph.Graph
+	queue *events.Queue
+	pool  *demon.Pool
+
+	pages     *rdbms.Table
+	visits    *rdbms.Table
+	bookmarks *rdbms.Table
+	usersTbl  *rdbms.Table
+
+	mu      sync.RWMutex
+	trees   map[int64]*folders.Tree   // per-user folder space
+	models  map[int64]*classify.Bayes // per-user folder classifier
+	tax     *themes.Taxonomy
+	pageTF  map[int64]map[string]int // fetched term counts
+	pageVec map[int64]text.Vector    // normalized TF-IDF vectors
+	urlOf   map[int64]string
+	idByURL map[string]int64
+	titleOf map[int64]string
+	// visibility: users who visited each page; community flag.
+	seenBy    map[int64]map[int64]bool
+	community map[int64]bool
+
+	// pushed/processed (plus the queue's drop counter) account for
+	// background work precisely, so DrainBackground cannot return while an
+	// event is between Pop and completion.
+	pushed    atomic.Int64
+	processed atomic.Int64
+	inflight  atomic.Int64
+	stats     Counters
+	closed    bool
+}
+
+// Counters reports engine activity.
+type Counters struct {
+	VisitsLogged    atomic.Int64
+	BookmarksLogged atomic.Int64
+	PagesFetched    atomic.Int64
+	PagesIndexed    atomic.Int64
+	EventsDropped   atomic.Uint64
+	ClassifierRuns  atomic.Int64
+	ThemeRebuilds   atomic.Int64
+}
+
+// Open builds the engine over the given directory.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("core: Config.Dir required")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("core: Config.Source required")
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 4096
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	kv, err := kvstore.Open(cfg.Dir, cfg.KV)
+	if err != nil {
+		return nil, err
+	}
+	db, err := rdbms.NewOn(kv)
+	if err != nil {
+		kv.Close()
+		return nil, err
+	}
+	e := &Engine{
+		cfg:       cfg,
+		db:        db,
+		kv:        kv,
+		vs:        version.NewStore(),
+		dict:      text.NewDict(),
+		corp:      text.NewCorpus(),
+		g:         graph.New(),
+		queue:     events.NewQueue(cfg.QueueSize),
+		pool:      demon.NewPool(),
+		trees:     map[int64]*folders.Tree{},
+		models:    map[int64]*classify.Bayes{},
+		pageTF:    map[int64]map[string]int{},
+		pageVec:   map[int64]text.Vector{},
+		urlOf:     map[int64]string{},
+		idByURL:   map[string]int64{},
+		titleOf:   map[int64]string{},
+		seenBy:    map[int64]map[int64]bool{},
+		community: map[int64]bool{},
+	}
+	e.idx = textindex.New(e.dict)
+	if err := e.createTables(); err != nil {
+		kv.Close()
+		return nil, err
+	}
+	if err := e.reload(); err != nil {
+		kv.Close()
+		return nil, err
+	}
+	e.startDemons()
+	return e, nil
+}
+
+func (e *Engine) createTables() error {
+	var err error
+	e.pages, err = e.db.EnsureTable(rdbms.Schema{
+		Name: "pages",
+		Columns: []rdbms.Column{
+			{Name: "id", Type: rdbms.TInt},
+			{Name: "url", Type: rdbms.TString},
+			{Name: "title", Type: rdbms.TString},
+			{Name: "fetched", Type: rdbms.TBool},
+		},
+		Key:     "id",
+		Indexes: []string{"url"},
+	})
+	if err != nil {
+		return err
+	}
+	e.visits, err = e.db.EnsureTable(rdbms.Schema{
+		Name: "visits",
+		Columns: []rdbms.Column{
+			{Name: "id", Type: rdbms.TInt},
+			{Name: "user", Type: rdbms.TInt},
+			{Name: "page", Type: rdbms.TInt},
+			{Name: "ref", Type: rdbms.TInt},
+			{Name: "time", Type: rdbms.TTime},
+			{Name: "privacy", Type: rdbms.TInt},
+		},
+		Key:     "id",
+		Indexes: []string{"user", "time"},
+	})
+	if err != nil {
+		return err
+	}
+	e.bookmarks, err = e.db.EnsureTable(rdbms.Schema{
+		Name: "bookmarks",
+		Columns: []rdbms.Column{
+			{Name: "id", Type: rdbms.TInt},
+			{Name: "user", Type: rdbms.TInt},
+			{Name: "page", Type: rdbms.TInt},
+			{Name: "folder", Type: rdbms.TString},
+			{Name: "time", Type: rdbms.TTime},
+		},
+		Key:     "id",
+		Indexes: []string{"user"},
+	})
+	if err != nil {
+		return err
+	}
+	e.usersTbl, err = e.db.EnsureTable(rdbms.Schema{
+		Name: "users",
+		Columns: []rdbms.Column{
+			{Name: "id", Type: rdbms.TInt},
+			{Name: "name", Type: rdbms.TString},
+		},
+		Key: "id",
+	})
+	return err
+}
+
+// reload rebuilds in-memory state (folder trees, page metadata, visibility)
+// from the persistent tables after a restart.
+func (e *Engine) reload() error {
+	// Page metadata.
+	err := e.pages.Select().Each(func(r rdbms.Row) bool {
+		id := r.MustInt("id")
+		url := r.MustString("url")
+		e.urlOf[id] = url
+		e.idByURL[url] = id
+		e.titleOf[id] = r.MustString("title")
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Folder trees from bookmarks.
+	err = e.bookmarks.Select().Each(func(r rdbms.Row) bool {
+		user := r.MustInt("user")
+		page := r.MustInt("page")
+		tree := e.treeLocked(user)
+		tree.Add(r.MustString("folder"), folders.Entry{
+			Page:  page,
+			URL:   e.urlOf[page],
+			Title: e.titleOf[page],
+			Added: r.MustTime("time"),
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Visibility from visits.
+	return e.visits.Select().Each(func(r rdbms.Row) bool {
+		page := r.MustInt("page")
+		user := r.MustInt("user")
+		if e.seenBy[page] == nil {
+			e.seenBy[page] = map[int64]bool{}
+		}
+		e.seenBy[page][user] = true
+		if events.Privacy(r.MustInt("privacy")) == events.Community {
+			e.community[page] = true
+		}
+		return true
+	})
+}
+
+func (e *Engine) startDemons() {
+	for w := 0; w < e.cfg.Workers; w++ {
+		e.pool.Add(&demon.Func{
+			TaskName: fmt.Sprintf("analyzer-%d", w),
+			Body:     e.analyzerLoop,
+		})
+	}
+	if e.cfg.ThemeInterval > 0 {
+		e.pool.Add(&demon.Periodic{
+			TaskName: "themes",
+			Interval: e.cfg.ThemeInterval,
+			Tick:     func() { e.RebuildThemes() },
+		})
+	}
+	if e.cfg.TrainInterval > 0 {
+		e.pool.Add(&demon.Periodic{
+			TaskName: "trainer",
+			Interval: e.cfg.TrainInterval,
+			Tick:     func() { e.RetrainClassifiers() },
+		})
+	}
+	e.pool.Start()
+}
+
+// treeLocked returns (creating) the user's folder tree. Caller must hold
+// e.mu or be in single-threaded setup.
+func (e *Engine) treeLocked(user int64) *folders.Tree {
+	t := e.trees[user]
+	if t == nil {
+		t = folders.NewTree()
+		e.trees[user] = t
+	}
+	return t
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Users         int
+	Pages         int
+	PagesIndexed  int
+	Visits        int64
+	Bookmarks     int64
+	QueueDepth    int
+	EventsDropped uint64
+	Themes        int
+	DiskBytes     int64
+	DemonRestarts map[string]int
+}
+
+// Status reports engine state.
+func (e *Engine) Status() Stats {
+	e.mu.RLock()
+	users := len(e.trees)
+	themesN := 0
+	if e.tax != nil {
+		themesN = len(e.tax.Themes)
+	}
+	pages := len(e.urlOf)
+	e.mu.RUnlock()
+	return Stats{
+		Users:         users,
+		Pages:         pages,
+		PagesIndexed:  e.idx.Docs(),
+		Visits:        e.stats.VisitsLogged.Load(),
+		Bookmarks:     e.stats.BookmarksLogged.Load(),
+		QueueDepth:    e.queue.Len(),
+		EventsDropped: e.queue.Dropped(),
+		Themes:        themesN,
+		DiskBytes:     e.kv.DiskBytes(),
+		DemonRestarts: e.pool.Restarts(),
+	}
+}
+
+// DrainBackground blocks until the background queue is empty and all
+// in-flight analysis has finished (tests and benchmarks).
+func (e *Engine) DrainBackground() {
+	for {
+		done := e.processed.Load() + int64(e.queue.Dropped())
+		if done >= e.pushed.Load() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close stops demons and releases storage.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.queue.Close()
+	e.pool.Stop()
+	return e.kv.Close()
+}

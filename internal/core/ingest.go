@@ -1,0 +1,412 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"memex/internal/classify"
+	"memex/internal/events"
+	"memex/internal/folders"
+	"memex/internal/rdbms"
+	"memex/internal/text"
+)
+
+// RegisterUser creates (or refreshes) a user record.
+func (e *Engine) RegisterUser(id int64, name string) error {
+	if err := e.usersTbl.Upsert(rdbms.Row{
+		"id":   rdbms.Int(id),
+		"name": rdbms.String(name),
+	}); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.treeLocked(id)
+	e.mu.Unlock()
+	return nil
+}
+
+// RecordVisit is the guaranteed-immediate foreground path for a page-view
+// event: the visit row is written, visibility updated, and the heavy
+// analysis (fetch, index, classify) is queued for the background demons.
+// Privacy Off means the event is acknowledged and discarded.
+func (e *Engine) RecordVisit(user int64, url, referrer string, at time.Time, privacy events.Privacy) error {
+	if privacy == events.Off {
+		return nil // user chose not to archive
+	}
+	if at.IsZero() {
+		at = e.cfg.Now()
+	}
+	pageID, err := e.ensurePage(url)
+	if err != nil {
+		return err
+	}
+	var refID int64
+	if referrer != "" {
+		if refID, err = e.ensurePage(referrer); err != nil {
+			return err
+		}
+	}
+	vid, err := e.visits.NextID()
+	if err != nil {
+		return err
+	}
+	if err := e.visits.Insert(rdbms.Row{
+		"id":      rdbms.Int(vid),
+		"user":    rdbms.Int(user),
+		"page":    rdbms.Int(pageID),
+		"ref":     rdbms.Int(refID),
+		"time":    rdbms.Time(at),
+		"privacy": rdbms.Int(int64(privacy)),
+	}); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if e.seenBy[pageID] == nil {
+		e.seenBy[pageID] = map[int64]bool{}
+	}
+	e.seenBy[pageID][user] = true
+	if privacy == events.Community {
+		e.community[pageID] = true
+	}
+	e.mu.Unlock()
+	if refID != 0 {
+		e.g.AddEdge(refID, pageID)
+	}
+	e.stats.VisitsLogged.Add(1)
+	e.pushed.Add(1)
+	e.queue.Push(events.Event{
+		Kind: events.VisitEvent, User: user, URL: url,
+		Referrer: referrer, Time: at, Privacy: privacy,
+	})
+	return nil
+}
+
+// AddBookmark files url into the user's folder (foreground path). The
+// placement is a supervised training example for the user's classifier.
+func (e *Engine) AddBookmark(user int64, url, folder string, at time.Time) error {
+	if at.IsZero() {
+		at = e.cfg.Now()
+	}
+	pageID, err := e.ensurePage(url)
+	if err != nil {
+		return err
+	}
+	bid, err := e.bookmarks.NextID()
+	if err != nil {
+		return err
+	}
+	if err := e.bookmarks.Insert(rdbms.Row{
+		"id":     rdbms.Int(bid),
+		"user":   rdbms.Int(user),
+		"page":   rdbms.Int(pageID),
+		"folder": rdbms.String(folder),
+		"time":   rdbms.Time(at),
+	}); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.treeLocked(user).Add(folder, folders.Entry{
+		Page: pageID, URL: url, Title: e.titleOf[pageID], Added: at,
+	})
+	e.mu.Unlock()
+	e.stats.BookmarksLogged.Add(1)
+	// Ensure the page is fetched/indexed so training has text.
+	e.pushed.Add(1)
+	e.queue.Push(events.Event{
+		Kind: events.BookmarkEvent, User: user, URL: url,
+		Folder: folder, Time: at, Privacy: events.Community,
+	})
+	return nil
+}
+
+// CorrectPlacement moves a page to the right folder (the cut/paste
+// reinforcement of Figure 1) and counts as a fresh training signal.
+func (e *Engine) CorrectPlacement(user int64, url, folder string) error {
+	e.mu.Lock()
+	pageID, ok := e.pageIDByURLLocked(url)
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("core: unknown page %q", url)
+	}
+	tree := e.treeLocked(user)
+	err := tree.MovePage(pageID, folder)
+	if err != nil {
+		// Not filed yet: treat as a fresh placement.
+		tree.Add(folder, folders.Entry{Page: pageID, URL: url, Title: e.titleOf[pageID], Added: e.cfg.Now()})
+		err = nil
+	}
+	e.mu.Unlock()
+	bid, idErr := e.bookmarks.NextID()
+	if idErr != nil {
+		return idErr
+	}
+	if insErr := e.bookmarks.Insert(rdbms.Row{
+		"id":     rdbms.Int(bid),
+		"user":   rdbms.Int(user),
+		"page":   rdbms.Int(pageID),
+		"folder": rdbms.String(folder),
+		"time":   rdbms.Time(e.cfg.Now()),
+	}); insErr != nil {
+		return insErr
+	}
+	return err
+}
+
+// ImportBookmarks ingests a Netscape bookmark file for the user.
+func (e *Engine) ImportBookmarks(user int64, r io.Reader) (int, error) {
+	tree, err := folders.ImportNetscape(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	var walkErr error
+	tree.Walk(func(f *folders.Folder) {
+		for _, entry := range f.Entries {
+			if walkErr != nil {
+				return
+			}
+			path := f.Path()
+			if err := e.AddBookmark(user, entry.URL, path, entry.Added); err != nil {
+				walkErr = err
+				return
+			}
+			n++
+		}
+	})
+	return n, walkErr
+}
+
+// ExportBookmarks writes the user's folder tree in Netscape format.
+func (e *Engine) ExportBookmarks(user int64, w io.Writer) error {
+	e.mu.RLock()
+	tree := e.trees[user]
+	e.mu.RUnlock()
+	if tree == nil {
+		tree = folders.NewTree()
+	}
+	return folders.ExportNetscape(tree, w)
+}
+
+// ensurePage returns the stable page id for url, creating the row if new.
+func (e *Engine) ensurePage(url string) (int64, error) {
+	e.mu.RLock()
+	if id, ok := e.pageIDByURLLocked(url); ok {
+		e.mu.RUnlock()
+		return id, nil
+	}
+	e.mu.RUnlock()
+
+	// Slow path: check the index, insert when truly absent.
+	row, ok, err := e.pages.Select().Where(rdbms.Eq("url", rdbms.String(url))).First()
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		id := row.MustInt("id")
+		e.mu.Lock()
+		e.urlOf[id] = url
+		e.idByURL[url] = id
+		e.mu.Unlock()
+		return id, nil
+	}
+	// Serialise the insert race on a fresh URL: re-check under the lock.
+	e.mu.Lock()
+	if id, ok := e.idByURL[url]; ok {
+		e.mu.Unlock()
+		return id, nil
+	}
+	id, err := e.pages.NextID()
+	if err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	if err := e.pages.Insert(rdbms.Row{
+		"id":      rdbms.Int(id),
+		"url":     rdbms.String(url),
+		"title":   rdbms.String(""),
+		"fetched": rdbms.Bool(false),
+	}); err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	e.urlOf[id] = url
+	e.idByURL[url] = id
+	e.mu.Unlock()
+	e.g.AddNode(id)
+	return id, nil
+}
+
+// pageIDByURLLocked consults the in-memory reverse map (mu held, either mode).
+func (e *Engine) pageIDByURLLocked(url string) (int64, bool) {
+	id, ok := e.idByURL[url]
+	return id, ok
+}
+
+// analyzerLoop is the background demon body: it drains the event queue and
+// performs fetch → index → graph → classify for each event.
+func (e *Engine) analyzerLoop(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		ev, ok := e.queue.Pop()
+		if !ok {
+			return
+		}
+		e.processOne(ev)
+	}
+}
+
+// processOne wraps process with panic-safe accounting so a failure in one
+// event can neither wedge DrainBackground nor kill the demon supervisor's
+// restart accounting.
+func (e *Engine) processOne(ev events.Event) {
+	e.inflight.Add(1)
+	defer func() {
+		e.inflight.Add(-1)
+		e.processed.Add(1)
+	}()
+	e.process(ev)
+}
+
+// process performs the per-event background analysis.
+func (e *Engine) process(ev events.Event) {
+	pageID, err := e.ensurePage(ev.URL)
+	if err != nil {
+		return
+	}
+	e.fetchAndIndex(pageID, ev.URL)
+	if ev.Kind == events.VisitEvent {
+		e.classifyForUser(ev.User, pageID)
+	}
+}
+
+// fetchAndIndex resolves content once per page, indexes it, publishes term
+// stats through the version store, and records out-links.
+func (e *Engine) fetchAndIndex(pageID int64, url string) {
+	e.mu.RLock()
+	_, done := e.pageTF[pageID]
+	e.mu.RUnlock()
+	if done {
+		return
+	}
+	content, ok := e.cfg.Source.Lookup(url)
+	if !ok {
+		return
+	}
+	e.stats.PagesFetched.Add(1)
+	tf := text.TermCounts(content.Title + " " + content.Text)
+
+	// Producer side of the loosely-consistent versioning: term stats are
+	// staged and published as one batch (consumers see all or nothing).
+	batch := e.vs.Begin()
+	for term, n := range tf {
+		batch.Put(fmt.Sprintf("tf/%d/%s", pageID, term), []byte(fmt.Sprint(n)))
+	}
+	batch.Publish()
+
+	vec := text.VectorFromCounts(e.dict, tf)
+	e.corp.AddDoc(vec)
+
+	e.mu.Lock()
+	already := false
+	if _, already = e.pageTF[pageID]; !already {
+		e.pageTF[pageID] = tf
+		e.pageVec[pageID] = vec
+		e.titleOf[pageID] = content.Title
+	}
+	e.mu.Unlock()
+	if already {
+		return
+	}
+	e.idx.AddCounts(pageID, tf)
+	e.stats.PagesIndexed.Add(1)
+	e.pages.Update(rdbms.Int(pageID), func(r rdbms.Row) rdbms.Row {
+		r["title"] = rdbms.String(content.Title)
+		r["fetched"] = rdbms.Bool(true)
+		return r
+	})
+	for _, l := range content.Links {
+		lid, err := e.ensurePage(l)
+		if err == nil {
+			e.g.AddEdge(pageID, lid)
+		}
+	}
+}
+
+// classifyForUser places the page into the user's folder space as a guess
+// ('?' in the Figure 1 UI) when the user has a trained classifier.
+func (e *Engine) classifyForUser(user, pageID int64) {
+	e.mu.RLock()
+	model := e.models[user]
+	tf := e.pageTF[pageID]
+	url := e.urlOf[pageID]
+	title := e.titleOf[pageID]
+	e.mu.RUnlock()
+	if model == nil || tf == nil {
+		return
+	}
+	folder, conf := model.Classify(tf)
+	if conf < 0.4 {
+		return // too uncertain to bother the user with a guess
+	}
+	e.stats.ClassifierRuns.Add(1)
+	e.mu.Lock()
+	e.treeLocked(user).Add(folder, folders.Entry{
+		Page: pageID, URL: url, Title: title,
+		Added: e.cfg.Now(), Guessed: true,
+	})
+	e.mu.Unlock()
+}
+
+// RetrainClassifiers rebuilds each user's naive Bayes model from their
+// current (non-guessed) folder placements. Users need at least two folders
+// with content to get a model.
+func (e *Engine) RetrainClassifiers() {
+	e.mu.RLock()
+	users := make([]int64, 0, len(e.trees))
+	for u := range e.trees {
+		users = append(users, u)
+	}
+	e.mu.RUnlock()
+
+	for _, u := range users {
+		e.mu.RLock()
+		tree := e.trees[u]
+		trainer := classify.NewTrainer(e.dict)
+		classes := 0
+		tree.Walk(func(f *folders.Folder) {
+			if f.Parent == nil {
+				return
+			}
+			path := f.Path()
+			n := 0
+			for _, entry := range f.Entries {
+				if entry.Guessed {
+					continue
+				}
+				if tf := e.pageTF[entry.Page]; tf != nil {
+					trainer.AddCounts(path, tf)
+					n++
+				}
+			}
+			if n > 0 {
+				classes++
+			}
+		})
+		e.mu.RUnlock()
+		if classes < 2 {
+			continue
+		}
+		model, err := trainer.Train(classify.Options{MaxFeatures: 4000})
+		if err != nil {
+			continue
+		}
+		e.mu.Lock()
+		e.models[u] = model
+		e.mu.Unlock()
+	}
+}

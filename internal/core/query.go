@@ -1,0 +1,409 @@
+package core
+
+import (
+	"strings"
+	"time"
+
+	"memex/internal/crawler"
+	"memex/internal/events"
+	"memex/internal/folders"
+	"memex/internal/profile"
+	"memex/internal/rdbms"
+	"memex/internal/recommend"
+	"memex/internal/text"
+	"memex/internal/textindex"
+	"memex/internal/themes"
+	"memex/internal/trails"
+)
+
+// PageInfo is page metadata returned by queries.
+type PageInfo struct {
+	ID    int64
+	URL   string
+	Title string
+	Score float64
+}
+
+// Search runs ranked full-text retrieval over pages the user may see:
+// their own archive plus all community-visible pages. Scope widens to the
+// whole archive when user is 0 (an administrative/community query).
+func (e *Engine) Search(user int64, query string, k int) []PageInfo {
+	hits := e.idx.Search(query, k*4+16, textindex.BM25)
+	out := make([]PageInfo, 0, k)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, h := range hits {
+		if user != 0 && !e.community[h.Doc] && !e.seenBy[h.Doc][user] {
+			continue
+		}
+		out = append(out, PageInfo{
+			ID: h.Doc, URL: e.urlOf[h.Doc], Title: e.titleOf[h.Doc], Score: h.Score,
+		})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// SearchWhen answers the paper's time-scoped recall question ("what was
+// the URL I visited about six months back regarding X?"): ranked search
+// restricted to pages the user visited within [from, to). Zero bounds are
+// open-ended.
+func (e *Engine) SearchWhen(user int64, query string, k int, from, to time.Time) []PageInfo {
+	// Pages the user visited in the window.
+	window := map[int64]bool{}
+	e.visits.Select().Where(rdbms.Eq("user", rdbms.Int(user))).Each(func(r rdbms.Row) bool {
+		at := r.MustTime("time")
+		if !from.IsZero() && at.Before(from) {
+			return true
+		}
+		if !to.IsZero() && !at.Before(to) {
+			return true
+		}
+		window[r.MustInt("page")] = true
+		return true
+	})
+	if len(window) == 0 {
+		return nil
+	}
+	hits := e.idx.Search(query, k*8+32, textindex.BM25)
+	out := make([]PageInfo, 0, k)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, h := range hits {
+		if !window[h.Doc] {
+			continue
+		}
+		out = append(out, PageInfo{ID: h.Doc, URL: e.urlOf[h.Doc], Title: e.titleOf[h.Doc], Score: h.Score})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// visitRows loads visits as trail events, filtered to what `user` may see
+// (their own visits plus community-public visits when includeCommunity).
+func (e *Engine) visitRows(user int64, includeCommunity bool) []trails.Visit {
+	var out []trails.Visit
+	e.visits.Select().OrderBy("time", false).Each(func(r rdbms.Row) bool {
+		vUser := r.MustInt("user")
+		priv := events.Privacy(r.MustInt("privacy"))
+		if vUser != user {
+			if !includeCommunity || priv != events.Community {
+				return true
+			}
+		}
+		out = append(out, trails.Visit{
+			User:     vUser,
+			Page:     r.MustInt("page"),
+			Referrer: r.MustInt("ref"),
+			Time:     r.MustTime("time"),
+		})
+		return true
+	})
+	return out
+}
+
+// TrailContext is the replayed topical browsing context of Figure 2.
+type TrailContext struct {
+	Folder string
+	Pages  []PageInfo
+	// Edges are transitions between pages, strongest first.
+	Edges [][2]int64
+	// Popular are authoritative pages in or near the community trail graph
+	// for this topic.
+	Popular []PageInfo
+}
+
+// Trails replays the user's (and the community's) recent browsing context
+// for one of the user's folders: pages most likely to belong to the folder
+// per the user's classifier, assembled into a trail graph.
+func (e *Engine) Trails(user int64, folder string, k int) TrailContext {
+	e.mu.RLock()
+	model := e.models[user]
+	e.mu.RUnlock()
+
+	topicFilter := func(page int64) bool {
+		if model == nil {
+			// Untrained: fall back to the user's explicit folder content.
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			t := e.trees[user]
+			if t == nil {
+				return false
+			}
+			of := t.FolderOfPage(page)
+			return of != nil && strings.HasPrefix(of.Path()+"/", folder+"/")
+		}
+		e.mu.RLock()
+		tf := e.pageTF[page]
+		e.mu.RUnlock()
+		if tf == nil {
+			return false
+		}
+		got, _ := model.Classify(tf)
+		return got == folder || strings.HasPrefix(got+"/", folder+"/")
+	}
+
+	visits := e.visitRows(user, true)
+	tg := trails.Replay(visits, trails.Filter{Topic: topicFilter}, 0, e.cfg.Now(), 0)
+
+	ctx := TrailContext{Folder: folder, Edges: tg.Transitions()}
+	e.mu.RLock()
+	for _, p := range tg.Top(k) {
+		ctx.Pages = append(ctx.Pages, PageInfo{
+			ID: p, URL: e.urlOf[p], Title: e.titleOf[p], Score: tg.Weight[p],
+		})
+	}
+	e.mu.RUnlock()
+	for _, p := range trails.Popular(tg, e.g, k) {
+		e.mu.RLock()
+		info := PageInfo{ID: p, URL: e.urlOf[p], Title: e.titleOf[p]}
+		e.mu.RUnlock()
+		ctx.Popular = append(ctx.Popular, info)
+	}
+	return ctx
+}
+
+// userFoldersLocked converts a user's folder tree into theme-discovery
+// input: one UserFolder per non-empty folder, with TF-IDF page vectors.
+// Caller holds e.mu (read).
+func (e *Engine) userFoldersLocked(user int64, tree *folders.Tree) []themes.UserFolder {
+	var out []themes.UserFolder
+	tree.Walk(func(f *folders.Folder) {
+		if f.Parent == nil || len(f.Entries) == 0 {
+			return
+		}
+		uf := themes.UserFolder{User: user, Path: f.Path()}
+		for _, entry := range f.Entries {
+			if entry.Guessed {
+				continue
+			}
+			raw, ok := e.pageVec[entry.Page]
+			if !ok {
+				continue
+			}
+			uf.Docs = append(uf.Docs, themes.DocVec{
+				ID:  entry.Page,
+				Vec: e.corp.TFIDF(raw),
+			})
+		}
+		if len(uf.Docs) > 0 {
+			out = append(out, uf)
+		}
+	})
+	return out
+}
+
+// RebuildThemes consolidates all users' folders into the community
+// taxonomy (Figure 4) and returns its statistics. Only pages with fetched
+// text contribute (the demons fetch bookmarked pages eagerly).
+func (e *Engine) RebuildThemes() themes.Stats {
+	e.mu.RLock()
+	var ufs []themes.UserFolder
+	for user, tree := range e.trees {
+		ufs = append(ufs, e.userFoldersLocked(user, tree)...)
+	}
+	e.mu.RUnlock()
+
+	tax := themes.Discover(ufs, e.dict, themes.Options{Seed: 1})
+	e.mu.Lock()
+	e.tax = tax
+	e.mu.Unlock()
+	e.stats.ThemeRebuilds.Add(1)
+	return tax.Stats()
+}
+
+// ThemeInfo summarises one community theme for clients.
+type ThemeInfo struct {
+	ID        int
+	Parent    int
+	Label     string
+	Signature []string
+	Docs      int
+	Users     int
+}
+
+// Themes lists the current community taxonomy (empty before the first
+// rebuild).
+func (e *Engine) Themes() []ThemeInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.tax == nil {
+		return nil
+	}
+	out := make([]ThemeInfo, 0, len(e.tax.Themes))
+	for i := range e.tax.Themes {
+		th := &e.tax.Themes[i]
+		out = append(out, ThemeInfo{
+			ID: th.ID, Parent: th.Parent, Label: th.Label,
+			Signature: th.Signature, Docs: len(th.Docs), Users: len(th.Contributors),
+		})
+	}
+	return out
+}
+
+// Profile returns the user's interest weights over the community taxonomy
+// (nil before themes exist or for unknown users).
+func (e *Engine) Profile(user int64) *profile.Profile {
+	e.mu.RLock()
+	tax := e.tax
+	e.mu.RUnlock()
+	if tax == nil {
+		return nil
+	}
+	docs := e.userDocs(user)
+	if len(docs) == 0 {
+		return nil
+	}
+	p := profile.Build(user, docs, tax)
+	return &p
+}
+
+// userDocs gathers TF-IDF vectors of the user's visited, fetched pages.
+func (e *Engine) userDocs(user int64) []themes.DocVec {
+	pageSet := map[int64]bool{}
+	e.mu.RLock()
+	for page, by := range e.seenBy {
+		if by[user] {
+			pageSet[page] = true
+		}
+	}
+	var docs []themes.DocVec
+	for page := range pageSet {
+		if raw, ok := e.pageVec[page]; ok {
+			docs = append(docs, themes.DocVec{ID: page, Vec: e.corp.TFIDF(raw)})
+		}
+	}
+	e.mu.RUnlock()
+	return docs
+}
+
+// Recommend suggests up to k community pages for the user via theme-profile
+// peer similarity (method ByProfile) or the URL-overlap baseline.
+func (e *Engine) Recommend(user int64, k int, byProfile bool) []PageInfo {
+	e.mu.RLock()
+	tax := e.tax
+	users := make([]int64, 0, len(e.trees))
+	for u := range e.trees {
+		users = append(users, u)
+	}
+	e.mu.RUnlock()
+	if tax == nil {
+		return nil
+	}
+
+	profiles := map[int64]profile.Profile{}
+	visited := map[int64]map[int64]bool{}
+	for _, u := range users {
+		docs := e.userDocs(u)
+		if len(docs) == 0 {
+			continue
+		}
+		profiles[u] = profile.Build(u, docs, tax)
+		set := map[int64]bool{}
+		e.mu.RLock()
+		for page, by := range e.seenBy {
+			// Only community-visible pages are candidates from peers.
+			if by[u] && (u == user || e.community[page]) {
+				set[page] = true
+			}
+		}
+		e.mu.RUnlock()
+		visited[u] = set
+	}
+	eng := recommend.NewEngine(profiles, visited)
+	method := recommend.ByProfile
+	if !byProfile {
+		method = recommend.ByURLOverlap
+	}
+	recs := eng.Recommend(user, method, 10, k)
+	out := make([]PageInfo, 0, len(recs))
+	e.mu.RLock()
+	for _, p := range recs {
+		out = append(out, PageInfo{ID: p, URL: e.urlOf[p], Title: e.titleOf[p]})
+	}
+	e.mu.RUnlock()
+	return out
+}
+
+// Discover runs a focused crawl for one of the user's folders and returns
+// fresh authoritative resources for it (the resource-discovery demon's
+// on-demand form). Budget bounds fetches.
+func (e *Engine) Discover(user int64, folder string, budget, k int) []PageInfo {
+	e.mu.RLock()
+	model := e.models[user]
+	tree := e.trees[user]
+	e.mu.RUnlock()
+	if model == nil || tree == nil {
+		return nil
+	}
+	// Seeds: the folder's own pages.
+	var seeds []int64
+	for _, entry := range tree.Entries(folder) {
+		seeds = append(seeds, entry.Page)
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	ci := model.ClassIndex(folder)
+	if ci < 0 {
+		return nil
+	}
+	rel := func(content string) float64 {
+		// Posterior mass of the target folder per the user's model.
+		post := model.Posteriors(textTermCounts(content))
+		return post[ci]
+	}
+	fetcher := &engineFetcher{e: e}
+	res := crawler.Crawl(fetcher, rel, seeds, crawler.Options{
+		Budget: budget, Focused: true, Threshold: 0.5,
+	})
+	top := crawler.Discovery(res, func(p int64) []int64 { return e.g.Out(p) }, k)
+	out := make([]PageInfo, 0, len(top))
+	e.mu.RLock()
+	for _, p := range top {
+		out = append(out, PageInfo{ID: p, URL: e.urlOf[p], Title: e.titleOf[p], Score: res.Scores[p]})
+	}
+	e.mu.RUnlock()
+	return out
+}
+
+// engineFetcher adapts the engine's PageSource + page table to the
+// crawler's Fetcher interface, resolving link URLs to page ids as it goes.
+type engineFetcher struct {
+	e *Engine
+}
+
+// Fetch implements crawler.Fetcher. Crawled pages are indexed through the
+// normal fetch path (as the paper's discovery demons do), so discovered
+// resources are immediately searchable and carry metadata.
+func (f *engineFetcher) Fetch(page int64) (crawler.FetchResult, bool) {
+	e := f.e
+	e.mu.RLock()
+	url := e.urlOf[page]
+	e.mu.RUnlock()
+	if url == "" {
+		return crawler.FetchResult{}, false
+	}
+	content, ok := e.cfg.Source.Lookup(url)
+	if !ok {
+		return crawler.FetchResult{}, false
+	}
+	e.fetchAndIndex(page, url)
+	links := make([]int64, 0, len(content.Links))
+	for _, l := range content.Links {
+		if id, err := e.ensurePage(l); err == nil {
+			links = append(links, id)
+			e.g.AddEdge(page, id)
+		}
+	}
+	return crawler.FetchResult{Page: page, Text: content.Title + " " + content.Text, Links: links}, true
+}
+
+// textTermCounts converts raw content into the classifier's term counts.
+func textTermCounts(s string) map[string]int {
+	return text.TermCounts(s)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"memex/internal/events"
+)
+
+// TestSearchWhen covers the §1 recall question: finding a page by topic
+// terms restricted to when the user visited it.
+func TestSearchWhen(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+
+	var content []int64
+	for _, pid := range c.LeafPages[c.Leaves()[0].ID] {
+		if !c.Page(pid).Front {
+			content = append(content, pid)
+		}
+	}
+	early := tBase                          // "six months back"
+	late := tBase.Add(180 * 24 * time.Hour) // recently
+	e.RecordVisit(1, c.Page(content[0]).URL, "", early, events.Community)
+	e.RecordVisit(1, c.Page(content[1]).URL, "", late, events.Community)
+	e.DrainBackground()
+
+	// A query matching both pages' topical vocabulary.
+	var q []string
+	for _, w := range strings.Fields(c.Page(content[0]).Text) {
+		if strings.Contains(w, "_") {
+			q = append(q, w)
+			if len(q) == 3 {
+				break
+			}
+		}
+	}
+	query := strings.Join(q, " ")
+
+	// Unscoped: both periods reachable.
+	all := e.SearchWhen(1, query, 10, time.Time{}, time.Time{})
+	if len(all) == 0 {
+		t.Fatal("unscoped SearchWhen found nothing")
+	}
+	// Scoped to the early window: only the old visit.
+	old := e.SearchWhen(1, query, 10, early.Add(-time.Hour), early.Add(time.Hour))
+	for _, h := range old {
+		if h.ID == e.idByURL[c.Page(content[1]).URL] {
+			t.Fatal("late visit leaked into early window")
+		}
+	}
+	if len(old) == 0 {
+		t.Fatal("early window found nothing")
+	}
+	// Scoped to a window with no visits.
+	if got := e.SearchWhen(1, query, 10, late.Add(time.Hour), time.Time{}); len(got) != 0 {
+		t.Fatalf("empty window returned %v", got)
+	}
+	// Other users see nothing in this user's windows.
+	if got := e.SearchWhen(2, query, 10, time.Time{}, time.Time{}); len(got) != 0 {
+		t.Fatalf("wrong user got %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"memex/internal/rdbms"
+)
+
+// UsageSlice is one topic's share of a user's browsing (§1: "How is my ISP
+// bill divided into access for work, travel, news, hobby and
+// entertainment?").
+type UsageSlice struct {
+	Folder string
+	Visits int
+	// Time is the estimated dwell time: gaps between consecutive visits
+	// within a session, attributed to the earlier page, capped at 30m.
+	Time time.Duration
+	// Share is the fraction of the user's attributed time.
+	Share float64
+}
+
+// UsageBreakdown attributes the user's visits to their folder topics via
+// the trained classifier (unclassifiable pages land in "/unfiled") and
+// returns slices in descending time share.
+func (e *Engine) UsageBreakdown(user int64, since time.Time) []UsageSlice {
+	e.mu.RLock()
+	model := e.models[user]
+	e.mu.RUnlock()
+
+	type rec struct {
+		page int64
+		at   time.Time
+	}
+	var visits []rec
+	e.visits.Select().Where(rdbms.Eq("user", rdbms.Int(user))).Each(func(r rdbms.Row) bool {
+		at := r.MustTime("time")
+		if !since.IsZero() && at.Before(since) {
+			return true
+		}
+		visits = append(visits, rec{r.MustInt("page"), at})
+		return true
+	})
+	if len(visits) == 0 {
+		return nil
+	}
+	sort.Slice(visits, func(i, j int) bool { return visits[i].at.Before(visits[j].at) })
+
+	folderOf := func(page int64) string {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		// Explicit placement wins over classifier guesses.
+		if tree := e.trees[user]; tree != nil {
+			if f := tree.FolderOfPage(page); f != nil {
+				return f.Path()
+			}
+		}
+		if model != nil {
+			if tf := e.pageTF[page]; tf != nil {
+				folder, conf := model.Classify(tf)
+				if conf >= 0.4 {
+					return folder
+				}
+			}
+		}
+		return "/unfiled"
+	}
+
+	const dwellCap = 30 * time.Minute
+	const defaultDwell = 30 * time.Second
+	agg := map[string]*UsageSlice{}
+	var total time.Duration
+	for i, v := range visits {
+		dwell := defaultDwell
+		if i+1 < len(visits) {
+			gap := visits[i+1].at.Sub(v.at)
+			if gap > 0 && gap <= dwellCap {
+				dwell = gap
+			}
+		}
+		folder := folderOf(v.page)
+		s := agg[folder]
+		if s == nil {
+			s = &UsageSlice{Folder: folder}
+			agg[folder] = s
+		}
+		s.Visits++
+		s.Time += dwell
+		total += dwell
+	}
+	out := make([]UsageSlice, 0, len(agg))
+	for _, s := range agg {
+		if total > 0 {
+			s.Share = float64(s.Time) / float64(total)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Folder < out[j].Folder
+	})
+	return out
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"memex/internal/events"
+)
+
+func TestUsageBreakdown(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	leaves := c.Leaves()
+
+	// Train two folders.
+	n := 0
+	for _, pid := range c.LeafPages[leaves[0].ID] {
+		if p := c.Page(pid); !p.Front && n < 5 {
+			e.AddBookmark(1, p.URL, "/Work", tBase)
+			n++
+		}
+	}
+	n = 0
+	for _, pid := range c.LeafPages[leaves[2].ID] {
+		if p := c.Page(pid); !p.Front && n < 5 {
+			e.AddBookmark(1, p.URL, "/Hobby", tBase)
+			n++
+		}
+	}
+	e.DrainBackground()
+	e.RetrainClassifiers()
+
+	// Surf: long dwells on work pages, short on hobby.
+	at := tBase.Add(time.Hour)
+	for i, pid := range c.LeafPages[leaves[0].ID][:4] {
+		_ = i
+		e.RecordVisit(1, c.Page(pid).URL, "", at, events.Community)
+		at = at.Add(10 * time.Minute)
+	}
+	for _, pid := range c.LeafPages[leaves[2].ID][:4] {
+		e.RecordVisit(1, c.Page(pid).URL, "", at, events.Community)
+		at = at.Add(time.Minute)
+	}
+	e.DrainBackground()
+
+	slices := e.UsageBreakdown(1, time.Time{})
+	if len(slices) == 0 {
+		t.Fatal("no usage slices")
+	}
+	shares := map[string]float64{}
+	visits := 0
+	var total float64
+	for _, s := range slices {
+		shares[s.Folder] = s.Share
+		visits += s.Visits
+		total += s.Share
+	}
+	if visits != 8 {
+		t.Fatalf("visits accounted = %d, want 8", visits)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %v", total)
+	}
+	if shares["/Work"] <= shares["/Hobby"] {
+		t.Fatalf("work share %.2f not above hobby %.2f despite 10x dwell",
+			shares["/Work"], shares["/Hobby"])
+	}
+
+	// Since filter excludes earlier visits.
+	recent := e.UsageBreakdown(1, at.Add(-3*time.Minute))
+	rv := 0
+	for _, s := range recent {
+		rv += s.Visits
+	}
+	if rv >= visits {
+		t.Fatalf("since filter did not reduce visits: %d", rv)
+	}
+
+	// Unknown user → nil.
+	if got := e.UsageBreakdown(99, time.Time{}); got != nil {
+		t.Fatalf("usage for unknown user: %v", got)
+	}
+}

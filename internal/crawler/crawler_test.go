@@ -1,0 +1,180 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"memex/internal/webcorpus"
+)
+
+// corpusFetcher serves the synthetic web.
+type corpusFetcher struct {
+	c *webcorpus.Corpus
+}
+
+func (f corpusFetcher) Fetch(page int64) (FetchResult, bool) {
+	p := f.c.Page(page)
+	if p == nil {
+		return FetchResult{}, false
+	}
+	return FetchResult{Page: page, Text: p.Text, Links: p.Links}, true
+}
+
+// topicRelevance scores by the fraction of words carrying the target
+// topic's vocabulary prefix — a stand-in for the classifier posterior.
+func topicRelevance(c *webcorpus.Corpus, leafID int) Relevance {
+	leaf := c.Topics[leafID]
+	top := c.Topics[leaf.Parent]
+	prefix := top.Name + "_" + leaf.Name
+	return func(text string) float64 {
+		words := strings.Fields(text)
+		if len(words) == 0 {
+			return 0
+		}
+		hits := 0
+		for _, w := range words {
+			if strings.HasPrefix(w, prefix) {
+				hits++
+			}
+		}
+		// Content pages draw ~45% of words from leaf vocab; scale so that
+		// on-topic content pages clear 0.5 comfortably.
+		s := 2.5 * float64(hits) / float64(len(words))
+		if s > 1 {
+			s = 1
+		}
+		return s
+	}
+}
+
+func world(t *testing.T) (*webcorpus.Corpus, Fetcher, int) {
+	t.Helper()
+	// The on-topic pool (PagesPerLeaf) must comfortably exceed the crawl
+	// budget or both strategies saturate at pool/budget; link locality is
+	// turned down so an unfocused frontier dilutes within a few hops, as on
+	// the open Web.
+	c := webcorpus.Generate(webcorpus.Config{
+		Seed: 21, TopTopics: 6, SubPerTopic: 4, PagesPerLeaf: 100,
+		IntraLeafProb: 0.35, IntraTopProb: 0.25,
+	})
+	leaf := c.Leaves()[0].ID
+	return c, corpusFetcher{c}, leaf
+}
+
+func seedsFor(c *webcorpus.Corpus, leaf int, n int) []int64 {
+	ids := c.LeafPages[leaf]
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return append([]int64(nil), ids[:n]...)
+}
+
+func TestFocusedBeatsBFS(t *testing.T) {
+	c, f, leaf := world(t)
+	rel := topicRelevance(c, leaf)
+	seeds := seedsFor(c, leaf, 3)
+
+	focused := Crawl(f, rel, seeds, Options{Budget: 100, Focused: true})
+	bfs := Crawl(f, rel, seeds, Options{Budget: 100, Focused: false})
+
+	hf, hb := focused.HarvestRate(), bfs.HarvestRate()
+	t.Logf("harvest focused=%.3f bfs=%.3f", hf, hb)
+	if hf < 1.25*hb {
+		t.Fatalf("focused (%.3f) lacks a clear margin over BFS (%.3f)", hf, hb)
+	}
+}
+
+func TestCrawlRespectsBudget(t *testing.T) {
+	c, f, leaf := world(t)
+	rel := topicRelevance(c, leaf)
+	res := Crawl(f, rel, seedsFor(c, leaf, 2), Options{Budget: 50, Focused: true})
+	if len(res.Fetched) != 50 {
+		t.Fatalf("fetched %d, budget 50", len(res.Fetched))
+	}
+	// No page fetched twice.
+	seen := map[int64]bool{}
+	for _, p := range res.Fetched {
+		if seen[p] {
+			t.Fatalf("page %d fetched twice", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCrawlSeedsFirst(t *testing.T) {
+	c, f, leaf := world(t)
+	rel := topicRelevance(c, leaf)
+	seeds := seedsFor(c, leaf, 3)
+	res := Crawl(f, rel, seeds, Options{Budget: 10, Focused: true})
+	for i, s := range seeds {
+		if res.Fetched[i] != s {
+			t.Fatalf("seed %d fetched at position ≠ %d: %v", s, i, res.Fetched[:3])
+		}
+	}
+}
+
+func TestHarvestCurveMonotoneBounds(t *testing.T) {
+	c, f, leaf := world(t)
+	rel := topicRelevance(c, leaf)
+	res := Crawl(f, rel, seedsFor(c, leaf, 2), Options{Budget: 100, Focused: true})
+	curve := res.HarvestCurve()
+	if len(curve) != len(res.Fetched) {
+		t.Fatal("curve length mismatch")
+	}
+	for _, v := range curve {
+		if v < 0 || v > 1 {
+			t.Fatalf("curve value %v out of bounds", v)
+		}
+	}
+}
+
+func TestUnknownSeedSkipped(t *testing.T) {
+	c, f, leaf := world(t)
+	rel := topicRelevance(c, leaf)
+	res := Crawl(f, rel, []int64{999999}, Options{Budget: 10, Focused: true})
+	if len(res.Fetched) != 0 {
+		t.Fatalf("fetched %v from unknown seed", res.Fetched)
+	}
+	if res.HarvestRate() != 0 {
+		t.Fatal("harvest of empty crawl not 0")
+	}
+	_ = c
+}
+
+func TestDiscoveryRanksLinkedRelevantPages(t *testing.T) {
+	c, f, leaf := world(t)
+	rel := topicRelevance(c, leaf)
+	res := Crawl(f, rel, seedsFor(c, leaf, 3), Options{Budget: 200, Focused: true})
+	out := func(p int64) []int64 {
+		if pg := c.Page(p); pg != nil {
+			return pg.Links
+		}
+		return nil
+	}
+	top := Discovery(res, out, 10)
+	if len(top) == 0 {
+		t.Fatal("Discovery returned nothing")
+	}
+	// Discovered resources should be mostly on-topic.
+	on := 0
+	for _, p := range top {
+		if c.Page(p).Topic == leaf {
+			on++
+		}
+	}
+	if on < len(top)*6/10 {
+		t.Fatalf("only %d/%d discovered resources on topic", on, len(top))
+	}
+}
+
+func BenchmarkFocusedCrawl(b *testing.B) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 22})
+	leaf := c.Leaves()[0].ID
+	f := corpusFetcher{c}
+	rel := topicRelevance(c, leaf)
+	seeds := c.LeafPages[leaf][:3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Crawl(f, rel, seeds, Options{Budget: 500, Focused: true})
+	}
+}

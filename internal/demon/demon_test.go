@@ -1,0 +1,79 @@
+package demon
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolStartStop(t *testing.T) {
+	p := NewPool()
+	p.Logger = func(string, ...any) {}
+	var ticks atomic.Int64
+	p.Add(&Periodic{TaskName: "ticker", Interval: 5 * time.Millisecond, Tick: func() {
+		ticks.Add(1)
+	}})
+	p.Start()
+	time.Sleep(60 * time.Millisecond)
+	p.Stop()
+	n := ticks.Load()
+	if n < 3 {
+		t.Fatalf("ticks = %d, want several", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if ticks.Load() != n {
+		t.Fatal("demon still ticking after Stop")
+	}
+}
+
+func TestPoolRestartsPanickedDemon(t *testing.T) {
+	p := NewPool()
+	p.Logger = func(string, ...any) {}
+	var runs atomic.Int64
+	p.Add(&Func{TaskName: "flaky", Body: func(stop <-chan struct{}) {
+		if runs.Add(1) < 3 {
+			panic("synthetic crash")
+		}
+		<-stop
+	}})
+	p.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for runs.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	p.Stop()
+	if runs.Load() < 3 {
+		t.Fatalf("demon restarted %d times, want >= 3", runs.Load())
+	}
+	if p.Restarts()["flaky"] < 2 {
+		t.Fatalf("Restarts = %v", p.Restarts())
+	}
+}
+
+func TestLateAddStartsImmediately(t *testing.T) {
+	p := NewPool()
+	p.Logger = func(string, ...any) {}
+	p.Start()
+	var ran atomic.Bool
+	p.Add(&Func{TaskName: "late", Body: func(stop <-chan struct{}) {
+		ran.Store(true)
+		<-stop
+	}})
+	deadline := time.Now().Add(time.Second)
+	for !ran.Load() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Stop()
+	if !ran.Load() {
+		t.Fatal("late-added demon never ran")
+	}
+}
+
+func TestDoubleStartStopSafe(t *testing.T) {
+	p := NewPool()
+	p.Logger = func(string, ...any) {}
+	p.Start()
+	p.Start()
+	p.Stop()
+	p.Stop()
+}

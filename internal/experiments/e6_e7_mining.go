@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"memex/internal/crawler"
+	"memex/internal/profile"
+	"memex/internal/recommend"
+	"memex/internal/sim"
+	"memex/internal/text"
+	"memex/internal/themes"
+	"memex/internal/webcorpus"
+)
+
+// E6 regenerates the focused-crawling comparison behind the resource
+// discovery demons (§4, [5]): harvest rate of a classifier-gated frontier
+// vs unfocused breadth-first crawling, from the same seeds.
+func E6(seed int64) *Report {
+	start := time.Now()
+	corpus := webcorpus.Generate(webcorpus.Config{
+		Seed: seed, TopTopics: 8, SubPerTopic: 6, PagesPerLeaf: 70,
+		IntraLeafProb: 0.35, IntraTopProb: 0.25,
+	})
+	leaf := corpus.Leaves()[0]
+	top := corpus.Topics[leaf.Parent]
+	prefix := top.Name + "_" + leaf.Name
+	rel := func(content string) float64 {
+		words := strings.Fields(content)
+		if len(words) == 0 {
+			return 0
+		}
+		hits := 0
+		for _, w := range words {
+			if strings.HasPrefix(w, prefix) {
+				hits++
+			}
+		}
+		s := 2.5 * float64(hits) / float64(len(words))
+		if s > 1 {
+			s = 1
+		}
+		return s
+	}
+	fetch := cFetcher{corpus}
+	seeds := corpus.LeafPages[leaf.ID][:3]
+
+	budgets := []int{50, 100, 200, 400}
+	var rows [][]string
+	var lastF, lastB float64
+	for _, budget := range budgets {
+		f := crawler.Crawl(fetch, rel, seeds, crawler.Options{Budget: budget, Focused: true})
+		b := crawler.Crawl(fetch, rel, seeds, crawler.Options{Budget: budget, Focused: false})
+		lastF, lastB = f.HarvestRate(), b.HarvestRate()
+		rows = append(rows, []string{
+			fmt.Sprint(budget), fmtPct(lastF), fmtPct(lastB),
+			fmt.Sprintf("×%.1f", lastF/maxF(lastB, 1e-9)),
+		})
+	}
+	r := &Report{
+		ID:     "E6",
+		Title:  "Focused resource discovery vs unfocused crawl (§4, harvest rate)",
+		Claim:  "the focused crawler sustains a far higher fraction of on-topic pages",
+		Header: []string{"budget (pages)", "focused harvest", "BFS harvest", "advantage"},
+		Rows:   rows,
+		Metrics: map[string]float64{
+			"harvest_focused": lastF,
+			"harvest_bfs":     lastB,
+		},
+		Elapsed: time.Since(start),
+	}
+	r.Finding = fmt.Sprintf("at 400 pages: focused %.1f%% vs BFS %.1f%% (×%.1f)",
+		100*lastF, 100*lastB, lastF/maxF(lastB, 1e-9))
+	return r
+}
+
+type cFetcher struct {
+	c *webcorpus.Corpus
+}
+
+// Fetch implements crawler.Fetcher over the synthetic web.
+func (f cFetcher) Fetch(page int64) (crawler.FetchResult, bool) {
+	p := f.c.Page(page)
+	if p == nil {
+		return crawler.FetchResult{}, false
+	}
+	return crawler.FetchResult{Page: page, Text: p.Text, Links: p.Links}, true
+}
+
+// E7 regenerates the §4 recommendation claim: comparing surfers through
+// theme-profile weights is "far superior to overlap in sets of URLs".
+// Peers rank better and held-out precision is higher under profiles.
+func E7(seed int64) *Report {
+	start := time.Now()
+	// The regime that motivates the paper's claim: the Web is vastly
+	// larger than any surfer's recent history, so two like-minded surfers
+	// rarely visit the same URLs. The theme taxonomy, however, is mature —
+	// built from the community's accumulated folders over months — so even
+	// a sparse new history can be normalised onto it. URL overlap has no
+	// such anchor.
+	corpus := webcorpus.Generate(webcorpus.Config{Seed: seed, TopTopics: 8, SubPerTopic: 6, PagesPerLeaf: 250})
+	// Long-running community: source of the taxonomy.
+	taxonomyTrace := sim.Simulate(corpus, sim.Config{
+		Seed: seed + 1, Users: 50, Days: 20, BookmarkProb: 0.3,
+		CommunityFocus: 0.25, InterestTopics: 3,
+	})
+	// Evaluation cohort: fresh members with short, sparse histories.
+	trace := sim.Simulate(corpus, sim.Config{
+		Seed: seed + 2, Users: 60, Days: 3,
+		SessionsPerDay: 1, VisitsPerSession: 4,
+		FollowProb:     0.3,
+		CommunityFocus: 0.25, InterestTopics: 3,
+		BookmarkProb: 0.1,
+	})
+
+	dict := text.NewDict()
+	corp := text.NewCorpus()
+	raw := map[int64]text.Vector{}
+	for _, p := range corpus.Pages {
+		v := text.VectorFromText(dict, p.Text)
+		raw[p.ID] = v
+		corp.AddDoc(v)
+	}
+	tfidf := func(page int64) text.Vector { return corp.TFIDF(raw[page]) }
+
+	// Community taxonomy from the long-running community's bookmarks.
+	folderDocs := map[string]*themes.UserFolder{}
+	for _, b := range taxonomyTrace.Bookmarks {
+		key := fmt.Sprintf("%d|%s", b.User, b.Folder)
+		uf := folderDocs[key]
+		if uf == nil {
+			uf = &themes.UserFolder{User: b.User, Path: b.Folder}
+			folderDocs[key] = uf
+		}
+		uf.Docs = append(uf.Docs, themes.DocVec{ID: b.Page, Vec: tfidf(b.Page)})
+	}
+	var ufs []themes.UserFolder
+	for _, uf := range folderDocs {
+		ufs = append(ufs, *uf)
+	}
+	tax := themes.Discover(ufs, dict, themes.Options{Seed: seed})
+
+	// Hold out each user's last 25% of visits; train on the rest.
+	trainVisits := map[int64][]int64{}
+	heldOut := map[int64]map[int64]bool{}
+	for _, u := range trace.Users {
+		vs := trace.VisitsOf(u.ID)
+		cut := len(vs) * 3 / 4
+		for i, v := range vs {
+			if i < cut {
+				trainVisits[u.ID] = append(trainVisits[u.ID], v.Page)
+			} else {
+				if heldOut[u.ID] == nil {
+					heldOut[u.ID] = map[int64]bool{}
+				}
+				heldOut[u.ID][v.Page] = true
+			}
+		}
+	}
+
+	profiles := map[int64]profile.Profile{}
+	visited := map[int64]map[int64]bool{}
+	for uid, pages := range trainVisits {
+		var docs []themes.DocVec
+		set := map[int64]bool{}
+		for _, p := range pages {
+			if !set[p] {
+				set[p] = true
+				docs = append(docs, themes.DocVec{ID: p, Vec: tfidf(p)})
+			}
+		}
+		profiles[uid] = profile.Build(uid, docs, tax)
+		visited[uid] = set
+	}
+	eng := recommend.NewEngine(profiles, visited)
+
+	// Ground-truth interest similarity between two users (cosine over
+	// their interest distributions). A good peer ranking should surface
+	// peers whose true interests align with the user's.
+	interestCos := func(a, b *sim.User) float64 {
+		var dot, na, nb float64
+		for t, w := range a.Interests {
+			dot += w * b.Interests[t]
+			na += w * w
+		}
+		for _, w := range b.Interests {
+			nb += w * w
+		}
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return dot / (sqrtF(na) * sqrtF(nb))
+	}
+	peerQuality := func(method recommend.Method) float64 {
+		var sum float64
+		n := 0
+		for i := range trace.Users {
+			u := &trace.Users[i]
+			for _, p := range eng.Peers(u.ID, method, 5) {
+				peer := trace.UserByID(p.User)
+				if peer == nil {
+					continue
+				}
+				sum += interestCos(u, peer)
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	peerProf := peerQuality(recommend.ByProfile)
+	peerURL := peerQuality(recommend.ByURLOverlap)
+	// Random-peer baseline calibrates both numbers.
+	var peerRand float64
+	{
+		var sum float64
+		n := 0
+		for i := range trace.Users {
+			for j := range trace.Users {
+				if i == j {
+					continue
+				}
+				sum += interestCos(&trace.Users[i], &trace.Users[j])
+				n++
+			}
+		}
+		peerRand = sum / float64(maxI(n, 1))
+	}
+
+	// Recommendation quality in the sparse regime the paper targets: a
+	// recommended page is useful when its topic is one the user cares
+	// about ("resources organized by topic"), and — as a stricter bar —
+	// when it appears in the user's held-out future visits.
+	// A user who receives no recommendations is a service failure, not a
+	// skipped sample: in the sparse regime most pairs share zero URLs, so
+	// the overlap method cannot serve most users at all.
+	onInterest := func(method recommend.Method) (onTopic, heldPrec, coverage float64) {
+		var ot, hp float64
+		served := 0
+		for i := range trace.Users {
+			u := &trace.Users[i]
+			recs := eng.Recommend(u.ID, method, 10, 10)
+			if len(recs) == 0 {
+				continue // contributes 0 to both sums
+			}
+			served++
+			hit := 0
+			for _, pg := range recs {
+				if _, ok := u.Interests[corpus.Page(pg).Topic]; ok {
+					hit++
+				}
+			}
+			ot += float64(hit) / float64(len(recs))
+			hp += recommend.PrecisionAtK(recs, heldOut[u.ID])
+		}
+		n := float64(len(trace.Users))
+		return ot / n, hp / n, float64(served) / n
+	}
+	otProf, hpProf, covProf := onInterest(recommend.ByProfile)
+	otURL, hpURL, covURL := onInterest(recommend.ByURLOverlap)
+
+	r := &Report{
+		ID:     "E7",
+		Title:  "Collaborative recommendation: theme profiles vs URL overlap (§4)",
+		Claim:  "theme-profile similarity is far superior to overlap in sets of URLs",
+		Header: []string{"measure", "theme profiles", "URL overlap"},
+		Rows: [][]string{
+			{"peer true-interest alignment", fmtF(peerProf), fmtF(peerURL)},
+			{"  (random-peer baseline)", fmtF(peerRand), fmtF(peerRand)},
+			{"users served (coverage)", fmtPct(covProf), fmtPct(covURL)},
+			{"recommended pages on-interest", fmtPct(otProf), fmtPct(otURL)},
+			{"precision@10 vs held-out visits", fmtPct(hpProf), fmtPct(hpURL)},
+		},
+		Metrics: map[string]float64{
+			"peer_profile": peerProf, "peer_url": peerURL,
+			"ontopic_profile": otProf, "ontopic_url": otURL,
+		},
+		Elapsed: time.Since(start),
+	}
+	r.Finding = fmt.Sprintf(
+		"profiles: peer alignment %.3f vs %.3f (baseline %.3f), serve %.0f%% of users vs %.0f%%, on-interest %.0f%% vs %.0f%%",
+		peerProf, peerURL, peerRand, 100*covProf, 100*covURL, 100*otProf, 100*otURL)
+	return r
+}
+
+func sqrtF(v float64) float64 { return math.Sqrt(v) }

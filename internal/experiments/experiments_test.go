@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE1ReproducesPaperShape asserts the headline claim's shape: text-only
+// lands in the paper's weak band and the full model roughly doubles it.
+func TestE1ReproducesPaperShape(t *testing.T) {
+	r := E1(7)
+	text := r.Metrics["acc_text"]
+	full := r.Metrics["acc_full"]
+	if text < 0.25 || text > 0.60 {
+		t.Fatalf("text-only accuracy %.3f outside the paper's weak band", text)
+	}
+	if full < 0.70 {
+		t.Fatalf("full model accuracy %.3f below the paper's band", full)
+	}
+	if full < 1.5*text {
+		t.Fatalf("lift %.2f× too small (paper: ≈2×)", full/text)
+	}
+}
+
+func TestE2PrecisionAndLatency(t *testing.T) {
+	r := E2(7)
+	if r.Metrics["precision"] < 0.75 {
+		t.Fatalf("trail replay precision %.3f too low", r.Metrics["precision"])
+	}
+	if r.Metrics["latency_ms"] > 100 {
+		t.Fatalf("replay latency %.1fms too high", r.Metrics["latency_ms"])
+	}
+}
+
+func TestE3ForegroundFastAndAsync(t *testing.T) {
+	r := E3(7)
+	if r.Metrics["ack_p99_us"] > 50000 {
+		t.Fatalf("foreground ack p99 %.0fµs: not 'guaranteed immediate'", r.Metrics["ack_p99_us"])
+	}
+	if r.Metrics["fg_events_per_s"] < 1000 {
+		t.Fatalf("foreground throughput %.0f ev/s too low", r.Metrics["fg_events_per_s"])
+	}
+}
+
+func TestE4CommunityBeatsCoarseAndUsesNodes(t *testing.T) {
+	r := E4(7)
+	if r.Metrics["fit_community"] <= r.Metrics["fit_coarse"] {
+		t.Fatalf("community fit %.3f not above coarse %.3f",
+			r.Metrics["fit_community"], r.Metrics["fit_coarse"])
+	}
+	if r.Metrics["used_community"] < 0.8 {
+		t.Fatalf("community node usage %.2f too low", r.Metrics["used_community"])
+	}
+	if r.Metrics["used_fine"] > 0.7 {
+		t.Fatalf("fine-tree usage %.2f too high: experiment regime lost its skew", r.Metrics["used_fine"])
+	}
+}
+
+func TestE5RDBMSOverheadOverwhelming(t *testing.T) {
+	r := E5(7)
+	if r.Metrics["disk_ratio"] < 4 {
+		t.Fatalf("disk overhead ×%.1f not 'overwhelming'", r.Metrics["disk_ratio"])
+	}
+	if r.Metrics["ingest_ratio"] < 2 {
+		t.Fatalf("ingest overhead ×%.1f not significant", r.Metrics["ingest_ratio"])
+	}
+}
+
+func TestE6FocusedWins(t *testing.T) {
+	r := E6(7)
+	if r.Metrics["harvest_focused"] < 1.5*r.Metrics["harvest_bfs"] {
+		t.Fatalf("focused %.3f vs bfs %.3f: no clear win",
+			r.Metrics["harvest_focused"], r.Metrics["harvest_bfs"])
+	}
+}
+
+func TestE7ProfilesSuperior(t *testing.T) {
+	r := E7(7)
+	if r.Metrics["peer_profile"] <= r.Metrics["peer_url"] {
+		t.Fatalf("profile peer alignment %.3f not above URL %.3f",
+			r.Metrics["peer_profile"], r.Metrics["peer_url"])
+	}
+	if r.Metrics["ontopic_profile"] <= r.Metrics["ontopic_url"] {
+		t.Fatalf("profile on-interest %.3f not above URL %.3f",
+			r.Metrics["ontopic_profile"], r.Metrics["ontopic_url"])
+	}
+}
+
+func TestE8SearchServiceable(t *testing.T) {
+	r := E8(7)
+	if r.Metrics["qps_bm25"] < 500 {
+		t.Fatalf("search throughput %.0f q/s too low", r.Metrics["qps_bm25"])
+	}
+}
+
+func TestE9NoViolationsAndProducerWins(t *testing.T) {
+	r := E9(7)
+	if r.Metrics["violations"] != 0 {
+		t.Fatalf("%v consistency violations", r.Metrics["violations"])
+	}
+	if r.Metrics["pub_versioned"] <= r.Metrics["pub_mutex"] {
+		t.Fatalf("versioned producer %.0f/s not above mutex %.0f/s",
+			r.Metrics["pub_versioned"], r.Metrics["pub_mutex"])
+	}
+}
+
+func TestE10Improves(t *testing.T) {
+	r := E10(7)
+	if r.Metrics["final_accuracy"] < 0.8 {
+		t.Fatalf("final accuracy %.3f after corrections too low", r.Metrics["final_accuracy"])
+	}
+}
+
+func TestByIDAndAll(t *testing.T) {
+	if ByID("nope", 1) != nil {
+		t.Fatal("unknown id returned a report")
+	}
+	if r := ByID("e1", 7); r == nil || r.ID != "E1" {
+		t.Fatal("case-insensitive lookup failed")
+	}
+}
+
+func TestReportPrintDoesNotPanic(t *testing.T) {
+	r := &Report{
+		ID: "X", Title: "t", Claim: "c", Finding: "f",
+		Header:  []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}, {"longer", "row"}},
+		Elapsed: time.Second,
+	}
+	r.Print()
+}

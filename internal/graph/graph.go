@@ -1,0 +1,312 @@
+// Package graph stores the hypertext graph Memex accumulates from surf
+// trails: pages (nodes) and links (directed edges), with in/out adjacency,
+// neighbourhood expansion, and the link-analysis primitives the mining
+// demons use — HITS hubs/authorities over a focused subgraph (resource
+// discovery) and PageRank (popularity near the community trail graph).
+package graph
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Graph is a directed graph over int64 node ids. Safe for concurrent use.
+type Graph struct {
+	mu  sync.RWMutex
+	out map[int64][]int64
+	in  map[int64][]int64
+	// edge set for O(1) duplicate detection, key = (from<<32)^to packed.
+	edges map[[2]int64]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		out:   make(map[int64][]int64),
+		in:    make(map[int64][]int64),
+		edges: make(map[[2]int64]bool),
+	}
+}
+
+// AddNode ensures a node exists (isolated nodes are legal).
+func (g *Graph) AddNode(id int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ensure(id)
+}
+
+func (g *Graph) ensure(id int64) {
+	if _, ok := g.out[id]; !ok {
+		g.out[id] = nil
+		g.in[id] = nil
+	}
+}
+
+// AddEdge inserts the directed edge from→to (idempotent; self-loops are
+// dropped).
+func (g *Graph) AddEdge(from, to int64) {
+	if from == to {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := [2]int64{from, to}
+	if g.edges[key] {
+		return
+	}
+	g.edges[key] = true
+	g.ensure(from)
+	g.ensure(to)
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+}
+
+// HasEdge reports whether from→to exists.
+func (g *Graph) HasEdge(from, to int64) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.edges[[2]int64{from, to}]
+}
+
+// Out returns a copy of the out-neighbours of id.
+func (g *Graph) Out(id int64) []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]int64(nil), g.out[id]...)
+}
+
+// In returns a copy of the in-neighbours of id.
+func (g *Graph) In(id int64) []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]int64(nil), g.in[id]...)
+}
+
+// Neighbors returns the union of in- and out-neighbours.
+func (g *Graph) Neighbors(id int64) []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := map[int64]bool{}
+	var out []int64
+	for _, n := range g.out[id] {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range g.in[id] {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Nodes returns all node ids (sorted, for determinism).
+func (g *Graph) Nodes() []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int64, 0, len(g.out))
+	for id := range g.out {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeCount and EdgeCount report graph size.
+func (g *Graph) NodeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.out)
+}
+
+func (g *Graph) EdgeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// Expand returns the radius-r undirected neighbourhood of the seed set
+// (including the seeds), capped at maxNodes (0 = unlimited). This is the
+// "limited radius neighbourhood" expansion used for trail context graphs.
+func (g *Graph) Expand(seeds []int64, radius, maxNodes int) []int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := map[int64]bool{}
+	frontier := make([]int64, 0, len(seeds))
+	var out []int64
+	for _, s := range seeds {
+		if _, ok := g.out[s]; !ok {
+			continue
+		}
+		if !seen[s] {
+			seen[s] = true
+			frontier = append(frontier, s)
+			out = append(out, s)
+		}
+	}
+	for r := 0; r < radius; r++ {
+		var next []int64
+		for _, u := range frontier {
+			for _, vs := range [][]int64{g.out[u], g.in[u]} {
+				for _, v := range vs {
+					if seen[v] {
+						continue
+					}
+					if maxNodes > 0 && len(out) >= maxNodes {
+						return out
+					}
+					seen[v] = true
+					next = append(next, v)
+					out = append(out, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Subgraph returns the induced edge list among the given nodes.
+func (g *Graph) Subgraph(nodes []int64) (edges [][2]int64) {
+	in := map[int64]bool{}
+	for _, n := range nodes {
+		in[n] = true
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, u := range nodes {
+		for _, v := range g.out[u] {
+			if in[v] {
+				edges = append(edges, [2]int64{u, v})
+			}
+		}
+	}
+	return edges
+}
+
+// Scores holds a node-score assignment from a link analysis run.
+type Scores map[int64]float64
+
+// Top returns the k highest-scoring nodes, descending (ties by id).
+func (s Scores) Top(k int) []int64 {
+	ids := make([]int64, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if s[ids[i]] != s[ids[j]] {
+			return s[ids[i]] > s[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// HITS runs Kleinberg's algorithm on the subgraph induced by nodes for the
+// given iterations, returning hub and authority scores (L2-normalized).
+func (g *Graph) HITS(nodes []int64, iterations int) (hubs, auths Scores) {
+	if iterations <= 0 {
+		iterations = 20
+	}
+	in := map[int64]bool{}
+	for _, n := range nodes {
+		in[n] = true
+	}
+	hubs = make(Scores, len(nodes))
+	auths = make(Scores, len(nodes))
+	for _, n := range nodes {
+		hubs[n] = 1
+		auths[n] = 1
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for it := 0; it < iterations; it++ {
+		// auth = sum of hub scores of in-links.
+		for _, n := range nodes {
+			var s float64
+			for _, u := range g.in[n] {
+				if in[u] {
+					s += hubs[u]
+				}
+			}
+			auths[n] = s
+		}
+		normalizeScores(auths)
+		for _, n := range nodes {
+			var s float64
+			for _, v := range g.out[n] {
+				if in[v] {
+					s += auths[v]
+				}
+			}
+			hubs[n] = s
+		}
+		normalizeScores(hubs)
+	}
+	return hubs, auths
+}
+
+// PageRank runs the standard damped power iteration over the whole graph.
+func (g *Graph) PageRank(damping float64, iterations int) Scores {
+	if damping <= 0 || damping >= 1 {
+		damping = 0.85
+	}
+	if iterations <= 0 {
+		iterations = 30
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := len(g.out)
+	if n == 0 {
+		return Scores{}
+	}
+	pr := make(Scores, n)
+	for id := range g.out {
+		pr[id] = 1 / float64(n)
+	}
+	for it := 0; it < iterations; it++ {
+		next := make(Scores, n)
+		var dangling float64
+		for id, outs := range g.out {
+			if len(outs) == 0 {
+				dangling += pr[id]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for id := range g.out {
+			next[id] = base
+		}
+		for id, outs := range g.out {
+			if len(outs) == 0 {
+				continue
+			}
+			share := damping * pr[id] / float64(len(outs))
+			for _, v := range outs {
+				next[v] += share
+			}
+		}
+		pr = next
+	}
+	return pr
+}
+
+func normalizeScores(s Scores) {
+	var sum float64
+	for _, v := range s {
+		sum += v * v
+	}
+	if sum == 0 {
+		return
+	}
+	norm := math.Sqrt(sum)
+	for k := range s {
+		s[k] /= norm
+	}
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2) // duplicate ignored
+	g.AddEdge(2, 3)
+	g.AddEdge(5, 5) // self-loop dropped
+	if g.EdgeCount() != 2 {
+		t.Fatalf("EdgeCount = %d", g.EdgeCount())
+	}
+	if g.NodeCount() != 3 {
+		t.Fatalf("NodeCount = %d", g.NodeCount())
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Fatal("edge direction wrong")
+	}
+	if out := g.Out(1); len(out) != 1 || out[0] != 2 {
+		t.Fatalf("Out(1) = %v", out)
+	}
+	if in := g.In(3); len(in) != 1 || in[0] != 2 {
+		t.Fatalf("In(3) = %v", in)
+	}
+}
+
+func TestNeighborsUnion(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 1)
+	g.AddEdge(1, 3) // 3 in both directions: counted once
+	nb := g.Neighbors(1)
+	if len(nb) != 2 {
+		t.Fatalf("Neighbors = %v", nb)
+	}
+}
+
+func TestIsolatedNode(t *testing.T) {
+	g := New()
+	g.AddNode(42)
+	if g.NodeCount() != 1 || g.EdgeCount() != 0 {
+		t.Fatal("isolated node not stored")
+	}
+	if len(g.Neighbors(42)) != 0 {
+		t.Fatal("isolated node has neighbours")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	// Chain 1→2→3→4→5.
+	g := New()
+	for i := int64(1); i < 5; i++ {
+		g.AddEdge(i, i+1)
+	}
+	r1 := g.Expand([]int64{3}, 1, 0)
+	if len(r1) != 3 {
+		t.Fatalf("radius-1 = %v", r1)
+	}
+	r2 := g.Expand([]int64{3}, 2, 0)
+	if len(r2) != 5 {
+		t.Fatalf("radius-2 = %v", r2)
+	}
+	capped := g.Expand([]int64{3}, 2, 4)
+	if len(capped) != 4 {
+		t.Fatalf("capped expand = %v", capped)
+	}
+	if got := g.Expand([]int64{99}, 1, 0); got != nil {
+		t.Fatalf("expand from unknown seed = %v", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	edges := g.Subgraph([]int64{1, 2, 3})
+	if len(edges) != 2 {
+		t.Fatalf("Subgraph edges = %v", edges)
+	}
+}
+
+func TestHITSRanksAuthority(t *testing.T) {
+	// Many hubs point at node 100; node 200 gets one link.
+	g := New()
+	for h := int64(1); h <= 5; h++ {
+		g.AddEdge(h, 100)
+	}
+	g.AddEdge(1, 200)
+	nodes := g.Nodes()
+	hubs, auths := g.HITS(nodes, 20)
+	if auths[100] <= auths[200] {
+		t.Fatalf("auth(100)=%v <= auth(200)=%v", auths[100], auths[200])
+	}
+	// Node 1 links to both authorities: best hub.
+	for h := int64(2); h <= 5; h++ {
+		if hubs[1] < hubs[h] {
+			t.Fatalf("hub(1)=%v < hub(%d)=%v", hubs[1], h, hubs[h])
+		}
+	}
+	top := auths.Top(1)
+	if len(top) != 1 || top[0] != 100 {
+		t.Fatalf("Top = %v", top)
+	}
+}
+
+func TestHITSRestrictedToSubgraph(t *testing.T) {
+	g := New()
+	for h := int64(1); h <= 5; h++ {
+		g.AddEdge(h, 100)
+	}
+	// Outside the node set: a huge authority that must be ignored.
+	for h := int64(50); h < 80; h++ {
+		g.AddEdge(h, 999)
+	}
+	nodes := []int64{1, 2, 3, 4, 5, 100}
+	_, auths := g.HITS(nodes, 10)
+	if _, ok := auths[999]; ok {
+		t.Fatal("HITS scored a node outside the subgraph")
+	}
+	if auths[100] == 0 {
+		t.Fatal("in-subgraph authority got zero")
+	}
+}
+
+func TestPageRankSums(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	g.AddEdge(4, 1) // 4 dangles into the cycle
+	pr := g.PageRank(0.85, 50)
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank mass = %v", sum)
+	}
+	if pr[1] <= pr[4] {
+		t.Fatalf("linked-to node not ranked higher: pr(1)=%v pr(4)=%v", pr[1], pr[4])
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	g := New()
+	if pr := g.PageRank(0.85, 10); len(pr) != 0 {
+		t.Fatal("PageRank on empty graph returned scores")
+	}
+}
+
+func TestScoresTopOrdering(t *testing.T) {
+	s := Scores{1: 0.5, 2: 0.9, 3: 0.5}
+	top := s.Top(3)
+	if top[0] != 2 || top[1] != 1 || top[2] != 3 {
+		t.Fatalf("Top = %v (ties must break by id)", top)
+	}
+	if got := s.Top(2); len(got) != 2 {
+		t.Fatalf("Top(2) = %v", got)
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := New()
+	for i := int64(0); i < 2000; i++ {
+		for j := 0; j < 5; j++ {
+			g.AddEdge(i, (i*7+int64(j)*131)%2000)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PageRank(0.85, 20)
+	}
+}
+
+func BenchmarkHITS(b *testing.B) {
+	g := New()
+	for i := int64(0); i < 500; i++ {
+		for j := 0; j < 4; j++ {
+			g.AddEdge(i, (i*13+int64(j)*37)%500)
+		}
+	}
+	nodes := g.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HITS(nodes, 15)
+	}
+}

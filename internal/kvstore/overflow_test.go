@@ -1,0 +1,120 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestReplaceWithLargerValueOnFullPage is the regression test for the
+// production deadlock found during integration: replacing a key with a
+// larger value on a page with no free space must split, not overflow.
+func TestReplaceWithLargerValueOnFullPage(t *testing.T) {
+	s := openTemp(t, Options{Sync: SyncNever})
+	// Fill a leaf to the brim with medium cells.
+	val := make([]byte, 120)
+	for i := 0; i < 30; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%04d", i)), val); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// Now grow every value to near the payload cap, forcing repeated
+	// replace-splits.
+	big := make([]byte, maxPayload-32)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%04d", i)), big); err != nil {
+			t.Fatalf("grow %d: %v", i, err)
+		}
+	}
+	if s.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", s.Len())
+	}
+	for i := 0; i < 30; i++ {
+		v, ok, err := s.Get([]byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil || !ok || !bytes.Equal(v, big) {
+			t.Fatalf("key %d corrupted after grow: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+// TestRandomSizeChurn hammers the tree with random-size puts, overwrites
+// and deletes; any page-arithmetic slip panics, and the final state must
+// match a map model.
+func TestRandomSizeChurn(t *testing.T) {
+	s := openTemp(t, Options{Sync: SyncNever, CacheSize: 32})
+	model := map[string][]byte{}
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 8000; op++ {
+		k := fmt.Sprintf("churn-%03d", rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0, 1, 2:
+			n := rng.Intn(maxPayload - 20)
+			v := make([]byte, n)
+			rng.Read(v)
+			if err := s.Put([]byte(k), v); err != nil {
+				t.Fatalf("Put size %d: %v", n, err)
+			}
+			model[k] = v
+		case 3:
+			if err := s.Delete([]byte(k)); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			delete(model, k)
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+	for k, want := range model {
+		got, ok, err := s.Get([]byte(k))
+		if err != nil || !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key %s: ok=%v err=%v len=%d want %d", k, ok, err, len(got), len(want))
+		}
+	}
+}
+
+// TestLongKeysSplitInternalPages drives enough long keys to force internal
+// page splits with large separators.
+func TestLongKeysSplitInternalPages(t *testing.T) {
+	s := openTemp(t, Options{Sync: SyncNever, CacheSize: 64})
+	longKey := func(i int) []byte {
+		return []byte(fmt.Sprintf("%0500d", i)) // 500-byte keys
+	}
+	const n = 2000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		if err := s.Put(longKey(i), []byte("v")); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Order preserved.
+	prev := -1
+	s.Scan(nil, nil, func(k, v []byte) bool {
+		var i int
+		fmt.Sscanf(string(k), "%d", &i)
+		if i <= prev {
+			t.Fatalf("order violated: %d after %d", i, prev)
+		}
+		prev = i
+		return true
+	})
+}
+
+// TestPayloadCapEnforced verifies the documented cap.
+func TestPayloadCapEnforced(t *testing.T) {
+	s := openTemp(t, Options{Sync: SyncNever})
+	k := []byte("k")
+	if err := s.Put(k, make([]byte, maxPayload-len(k))); err != nil {
+		t.Fatalf("at-cap put failed: %v", err)
+	}
+	if err := s.Put(k, make([]byte, maxPayload)); err == nil || !ErrTooLarge(err) {
+		t.Fatalf("over-cap put: %v", err)
+	}
+}

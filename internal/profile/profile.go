@@ -1,0 +1,147 @@
+// Package profile canonicalises surfers' interests the way §4 describes:
+// "a user profile is a set of weights associated with each node of a theme
+// hierarchy". Profiles are built by assigning a user's visited/bookmarked
+// documents to community themes, propagating mass up the theme tree, and
+// normalising. Comparing surfers through these weights — rather than raw
+// URL-set overlap — is what makes collaborative recommendation work
+// (experiment E7).
+package profile
+
+import (
+	"math"
+	"sort"
+
+	"memex/internal/text"
+	"memex/internal/themes"
+)
+
+// Profile is a user's weight per theme id (normalized to unit L2 norm).
+type Profile struct {
+	User    int64
+	Weights map[int]float64
+}
+
+// Build assigns each document vector to community themes and accumulates
+// weights. Assignment is soft — each document spreads its mass over its
+// top-3 most similar leaf themes, proportional to cosine — which keeps
+// profiles robust to noisy theme boundaries. Half of each increment also
+// propagates to ancestor themes with geometric decay so that users who
+// share a broad interest but different sub-themes still overlap.
+func Build(user int64, docs []themes.DocVec, tax *themes.Taxonomy) Profile {
+	p := Profile{User: user, Weights: map[int]float64{}}
+	leaves := tax.Leaves()
+	for _, d := range docs {
+		type cand struct {
+			id  int
+			sim float64
+		}
+		var best []cand
+		for _, id := range leaves {
+			s := text.Cosine(d.Vec, tax.Themes[id].Centroid)
+			if s <= 0 {
+				continue
+			}
+			best = append(best, cand{id, s})
+		}
+		sort.Slice(best, func(i, j int) bool {
+			if best[i].sim != best[j].sim {
+				return best[i].sim > best[j].sim
+			}
+			return best[i].id < best[j].id
+		})
+		if len(best) > 3 {
+			best = best[:3]
+		}
+		var total float64
+		for _, c := range best {
+			total += c.sim
+		}
+		for _, c := range best {
+			w := c.sim / total
+			p.Weights[c.id] += w
+			mass := w / 2
+			for parent := tax.Themes[c.id].Parent; parent >= 0; parent = tax.Themes[parent].Parent {
+				p.Weights[parent] += mass
+				mass /= 2
+			}
+		}
+	}
+	p.normalize()
+	return p
+}
+
+func (p *Profile) normalize() {
+	var sum float64
+	for _, w := range p.Weights {
+		sum += w * w
+	}
+	if sum == 0 {
+		return
+	}
+	norm := math.Sqrt(sum)
+	for k := range p.Weights {
+		p.Weights[k] /= norm
+	}
+}
+
+// Similarity is the cosine between two profiles.
+func Similarity(a, b Profile) float64 {
+	if len(a.Weights) > len(b.Weights) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, w := range a.Weights {
+		dot += w * b.Weights[k]
+	}
+	return dot
+}
+
+// TopThemes returns the user's k strongest theme ids, descending.
+func (p Profile) TopThemes(k int) []int {
+	ids := make([]int, 0, len(p.Weights))
+	for id := range p.Weights {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if p.Weights[ids[i]] != p.Weights[ids[j]] {
+			return p.Weights[ids[i]] > p.Weights[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// URLJaccard is the baseline the paper says profile similarity is "far
+// superior" to: overlap of raw visited-page sets.
+func URLJaccard(a, b map[int64]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	inter := 0
+	for p := range a {
+		if b[p] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// FromVectors is a convenience: build a profile straight from raw page
+// vectors (already TF-IDF normalized).
+func FromVectors(user int64, vecs []text.Vector, ids []int64, tax *themes.Taxonomy) Profile {
+	docs := make([]themes.DocVec, len(vecs))
+	for i := range vecs {
+		docs[i] = themes.DocVec{ID: ids[i], Vec: vecs[i]}
+	}
+	return Build(user, docs, tax)
+}

@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"memex/internal/text"
+	"memex/internal/themes"
+)
+
+// taxFor builds a small community taxonomy over two topic vocabularies.
+func taxFor(t *testing.T, d *text.Dict) *themes.Taxonomy {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var ufs []themes.UserFolder
+	next := int64(1)
+	for u := 1; u <= 4; u++ {
+		for topic := 0; topic < 2; topic++ {
+			uf := themes.UserFolder{User: int64(u), Path: fmt.Sprintf("/t%d", topic)}
+			for k := 0; k < 8; k++ {
+				tf := map[string]int{}
+				for w := 0; w < 15; w++ {
+					tf[fmt.Sprintf("topic%dword%d", topic, rng.Intn(10))]++
+				}
+				uf.Docs = append(uf.Docs, themes.DocVec{ID: next, Vec: text.VectorFromCounts(d, tf).Normalize()})
+				next++
+			}
+			ufs = append(ufs, uf)
+		}
+	}
+	return themes.Discover(ufs, d, themes.Options{Seed: 2})
+}
+
+func docsFor(d *text.Dict, rng *rand.Rand, topic, n int, base int64) []themes.DocVec {
+	var out []themes.DocVec
+	for k := 0; k < n; k++ {
+		tf := map[string]int{}
+		for w := 0; w < 15; w++ {
+			tf[fmt.Sprintf("topic%dword%d", topic, rng.Intn(10))]++
+		}
+		out = append(out, themes.DocVec{ID: base + int64(k), Vec: text.VectorFromCounts(d, tf).Normalize()})
+	}
+	return out
+}
+
+func TestBuildNormalized(t *testing.T) {
+	d := text.NewDict()
+	tax := taxFor(t, d)
+	rng := rand.New(rand.NewSource(3))
+	p := Build(1, docsFor(d, rng, 0, 10, 1000), tax)
+	var sum float64
+	for _, w := range p.Weights {
+		sum += w * w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("profile norm² = %v", sum)
+	}
+	if len(p.Weights) == 0 {
+		t.Fatal("empty profile")
+	}
+}
+
+func TestSimilarityDiscriminates(t *testing.T) {
+	d := text.NewDict()
+	tax := taxFor(t, d)
+	rng := rand.New(rand.NewSource(4))
+	a := Build(1, docsFor(d, rng, 0, 12, 1000), tax)
+	b := Build(2, docsFor(d, rng, 0, 12, 2000), tax) // same interest
+	c := Build(3, docsFor(d, rng, 1, 12, 3000), tax) // different interest
+	if Similarity(a, b) <= Similarity(a, c) {
+		t.Fatalf("same-interest sim %v <= cross sim %v", Similarity(a, b), Similarity(a, c))
+	}
+	if s := Similarity(a, a); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("self-similarity = %v", s)
+	}
+}
+
+func TestTopThemes(t *testing.T) {
+	d := text.NewDict()
+	tax := taxFor(t, d)
+	rng := rand.New(rand.NewSource(5))
+	docs := append(docsFor(d, rng, 0, 10, 1000), docsFor(d, rng, 1, 2, 2000)...)
+	p := Build(1, docs, tax)
+	top := p.TopThemes(1)
+	if len(top) != 1 {
+		t.Fatalf("TopThemes = %v", top)
+	}
+	// The dominant theme should hold mostly topic-0 docs.
+	counts := 0
+	for _, id := range tax.Themes[top[0]].Docs {
+		_ = id
+		counts++
+	}
+	if counts == 0 {
+		t.Fatal("top theme empty")
+	}
+}
+
+func TestURLJaccard(t *testing.T) {
+	a := map[int64]bool{1: true, 2: true, 3: true}
+	b := map[int64]bool{2: true, 3: true, 4: true}
+	if got := URLJaccard(a, b); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+	if URLJaccard(a, nil) != 0 || URLJaccard(nil, nil) != 0 {
+		t.Fatal("empty-set Jaccard not 0")
+	}
+	if URLJaccard(a, a) != 1 {
+		t.Fatal("self Jaccard != 1")
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	d := text.NewDict()
+	tax := taxFor(t, d)
+	p := Build(1, nil, tax)
+	if len(p.Weights) != 0 {
+		t.Fatal("profile from no docs has weights")
+	}
+	other := Build(2, nil, tax)
+	if Similarity(p, other) != 0 {
+		t.Fatal("similarity of empty profiles not 0")
+	}
+}

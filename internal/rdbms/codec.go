@@ -1,0 +1,155 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Row codec: rows are stored as a sequence of typed cells in schema column
+// order. Cell wire format: type(1) payload. Integers and times use fixed
+// 8-byte little-endian; strings/bytes are length-prefixed (uvarint).
+//
+// Index-key codec: values are encoded order-preservingly so that byte
+// comparison in the B+tree matches Value.Less. Ints/floats/times are offset
+// to unsigned big-endian; strings are terminated with 0x00 0x01 escaping.
+
+func encodeRow(s *Schema, r Row, buf []byte) ([]byte, error) {
+	for _, c := range s.Columns {
+		v, ok := r[c.Name]
+		if !ok {
+			return nil, fmt.Errorf("rdbms: row missing column %q", c.Name)
+		}
+		if v.Type != c.Type {
+			return nil, fmt.Errorf("rdbms: column %q: value type %s, schema wants %s", c.Name, v.Type, c.Type)
+		}
+		buf = append(buf, byte(c.Type))
+		switch c.Type {
+		case TInt:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Int))
+		case TFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Float))
+		case TString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+			buf = append(buf, v.Str...)
+		case TBytes:
+			buf = binary.AppendUvarint(buf, uint64(len(v.Bytes)))
+			buf = append(buf, v.Bytes...)
+		case TBool:
+			if v.Bool {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case TTime:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Time.UnixNano()))
+		}
+	}
+	return buf, nil
+}
+
+func decodeRow(s *Schema, data []byte) (Row, error) {
+	r := make(Row, len(s.Columns))
+	off := 0
+	for _, c := range s.Columns {
+		if off >= len(data) {
+			return nil, fmt.Errorf("rdbms: truncated row for table %s at column %s", s.Name, c.Name)
+		}
+		if ColType(data[off]) != c.Type {
+			return nil, fmt.Errorf("rdbms: row/schema type mismatch at column %s", c.Name)
+		}
+		off++
+		switch c.Type {
+		case TInt:
+			if off+8 > len(data) {
+				return nil, errTruncated(s, c)
+			}
+			r[c.Name] = Int(int64(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		case TFloat:
+			if off+8 > len(data) {
+				return nil, errTruncated(s, c)
+			}
+			r[c.Name] = Float(math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		case TString:
+			n, w := binary.Uvarint(data[off:])
+			if w <= 0 || off+w+int(n) > len(data) {
+				return nil, errTruncated(s, c)
+			}
+			off += w
+			r[c.Name] = String(string(data[off : off+int(n)]))
+			off += int(n)
+		case TBytes:
+			n, w := binary.Uvarint(data[off:])
+			if w <= 0 || off+w+int(n) > len(data) {
+				return nil, errTruncated(s, c)
+			}
+			off += w
+			r[c.Name] = Bytes(append([]byte(nil), data[off:off+int(n)]...))
+			off += int(n)
+		case TBool:
+			r[c.Name] = Bool(data[off] != 0)
+			off++
+		case TTime:
+			if off+8 > len(data) {
+				return nil, errTruncated(s, c)
+			}
+			r[c.Name] = Time(time.Unix(0, int64(binary.LittleEndian.Uint64(data[off:]))).UTC())
+			off += 8
+		}
+	}
+	return r, nil
+}
+
+func errTruncated(s *Schema, c Column) error {
+	return fmt.Errorf("rdbms: truncated row for %s.%s", s.Name, c.Name)
+}
+
+// encodeOrdered appends an order-preserving encoding of v: byte-wise
+// comparison of encodings matches Value.Less, across all values of one type.
+func encodeOrdered(v Value, buf []byte) []byte {
+	switch v.Type {
+	case TInt:
+		// Flip sign bit so negative numbers sort before positives.
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.Int)^(1<<63))
+	case TFloat:
+		bits := math.Float64bits(v.Float)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative floats: invert all
+		} else {
+			bits |= 1 << 63 // positive: set sign
+		}
+		buf = binary.BigEndian.AppendUint64(buf, bits)
+	case TString:
+		// Escape 0x00 as 0x00 0xff, terminate with 0x00 0x01 so prefixes
+		// sort before extensions.
+		for i := 0; i < len(v.Str); i++ {
+			b := v.Str[i]
+			buf = append(buf, b)
+			if b == 0x00 {
+				buf = append(buf, 0xff)
+			}
+		}
+		buf = append(buf, 0x00, 0x01)
+	case TBool:
+		if v.Bool {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case TTime:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.Time.UnixNano())^(1<<63))
+	case TBytes:
+		// Not indexable (Schema.Validate rejects), but keep codec total.
+		for _, b := range v.Bytes {
+			buf = append(buf, b)
+			if b == 0x00 {
+				buf = append(buf, 0xff)
+			}
+		}
+		buf = append(buf, 0x00, 0x01)
+	}
+	return buf
+}

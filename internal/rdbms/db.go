@@ -1,0 +1,232 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"memex/internal/kvstore"
+)
+
+// Keyspace layout inside the backing kvstore:
+//
+//	cat/<table>                → JSON schema (catalog)
+//	seq/<table>                → next auto-increment id (8 bytes LE)
+//	tbl/<tid>/<pk-ordered>     → encoded row
+//	idx/<tid>/<col#>/<val-ordered><pk-ordered> → pk-ordered (covering the PK)
+//
+// <tid> is a stable 4-byte table id assigned at CreateTable.
+
+// DB is the relational engine: a catalog of tables over one kvstore.
+type DB struct {
+	mu     sync.RWMutex
+	kv     *kvstore.Store
+	ownKV  bool
+	tables map[string]*Table
+	nextID uint32
+}
+
+// Table is a handle to one table.
+type Table struct {
+	db     *DB
+	id     uint32
+	schema Schema
+	keyIdx int
+	mu     sync.Mutex // serialises multi-key mutations for this table
+}
+
+type catalogEntry struct {
+	ID     uint32 `json:"id"`
+	Schema Schema `json:"schema"`
+}
+
+// Open opens a database stored under dir.
+func Open(dir string, kvOpts kvstore.Options) (*DB, error) {
+	kv, err := kvstore.Open(dir, kvOpts)
+	if err != nil {
+		return nil, err
+	}
+	db, err := NewOn(kv)
+	if err != nil {
+		kv.Close()
+		return nil, err
+	}
+	db.ownKV = true
+	return db, nil
+}
+
+// NewOn builds a DB over an existing kvstore (shared with other subsystems).
+func NewOn(kv *kvstore.Store) (*DB, error) {
+	db := &DB{kv: kv, tables: map[string]*Table{}}
+	// Load catalog.
+	err := kv.ScanPrefix([]byte("cat/"), func(k, v []byte) bool {
+		var ent catalogEntry
+		if err := json.Unmarshal(v, &ent); err != nil {
+			return true // skip corrupt entries; CreateTable will fail loudly
+		}
+		t := &Table{db: db, id: ent.ID, schema: ent.Schema}
+		t.keyIdx = ent.Schema.colIndex(ent.Schema.Key)
+		db.tables[ent.Schema.Name] = t
+		if ent.ID >= db.nextID {
+			db.nextID = ent.ID + 1
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close closes the database (and the kvstore if owned).
+func (db *DB) Close() error {
+	if db.ownKV {
+		return db.kv.Close()
+	}
+	return nil
+}
+
+// KV exposes the backing store (used by Stats and by tests).
+func (db *DB) KV() *kvstore.Store { return db.kv }
+
+// CreateTable registers a new table. It is an error if the name exists.
+func (db *DB) CreateTable(s Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Name]; ok {
+		return nil, fmt.Errorf("rdbms: table %q already exists", s.Name)
+	}
+	ent := catalogEntry{ID: db.nextID, Schema: s}
+	db.nextID++
+	blob, err := json.Marshal(ent)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.kv.Put([]byte("cat/"+s.Name), blob); err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, id: ent.ID, schema: s, keyIdx: s.colIndex(s.Key)}
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// Table returns a handle to an existing table, or an error.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("rdbms: no such table %q", name)
+	}
+	return t, nil
+}
+
+// EnsureTable returns the named table, creating it with schema s when absent.
+func (db *DB) EnsureTable(s Schema) (*Table, error) {
+	db.mu.RLock()
+	t, ok := db.tables[s.Name]
+	db.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	return db.CreateTable(s)
+}
+
+// DropTable removes a table and all its rows and index entries.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	t, ok := db.tables[name]
+	if !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("rdbms: no such table %q", name)
+	}
+	delete(db.tables, name)
+	db.mu.Unlock()
+
+	var doomed [][]byte
+	collect := func(k, v []byte) bool {
+		doomed = append(doomed, k)
+		return true
+	}
+	db.kv.ScanPrefix(t.rowPrefix(), collect)
+	db.kv.ScanPrefix(t.idxPrefixAll(), collect)
+	for _, k := range doomed {
+		if err := db.kv.Delete(k); err != nil {
+			return err
+		}
+	}
+	if err := db.kv.Delete([]byte("cat/" + name)); err != nil {
+		return err
+	}
+	return db.kv.Delete([]byte("seq/" + name))
+}
+
+// Tables lists table names in the catalog.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// NextID returns an auto-incrementing int64 for the table, persisted so ids
+// survive restarts. Useful for synthetic primary keys.
+func (t *Table) NextID() (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := []byte("seq/" + t.schema.Name)
+	var next int64 = 1
+	if v, ok, err := t.db.kv.Get(key); err != nil {
+		return 0, err
+	} else if ok {
+		next = int64(binary.LittleEndian.Uint64(v)) + 1
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(next))
+	if err := t.db.kv.Put(key, buf[:]); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+func (t *Table) rowPrefix() []byte {
+	p := make([]byte, 0, 16)
+	p = append(p, "tbl/"...)
+	p = binary.BigEndian.AppendUint32(p, t.id)
+	p = append(p, '/')
+	return p
+}
+
+func (t *Table) rowKey(pk Value) []byte {
+	return encodeOrdered(pk, t.rowPrefix())
+}
+
+func (t *Table) idxPrefixAll() []byte {
+	p := make([]byte, 0, 16)
+	p = append(p, "idx/"...)
+	p = binary.BigEndian.AppendUint32(p, t.id)
+	p = append(p, '/')
+	return p
+}
+
+func (t *Table) idxPrefix(col int) []byte {
+	p := t.idxPrefixAll()
+	p = binary.BigEndian.AppendUint16(p, uint16(col))
+	p = append(p, '/')
+	return p
+}
+
+func (t *Table) idxKey(col int, val, pk Value) []byte {
+	p := encodeOrdered(val, t.idxPrefix(col))
+	return encodeOrdered(pk, p)
+}
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema { return t.schema }

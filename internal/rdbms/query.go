@@ -1,0 +1,379 @@
+package rdbms
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Pred is a predicate over one column. Combine with Query.Where (conjunction).
+type Pred struct {
+	Col string
+	Op  Op
+	Val Value
+	// Hi is the upper bound for OpBetween.
+	Hi Value
+}
+
+// Op enumerates predicate operators.
+type Op int
+
+const (
+	OpEq Op = iota + 1
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpNe
+	OpBetween // Val <= col < Hi
+)
+
+// Eq builds an equality predicate.
+func Eq(col string, v Value) Pred { return Pred{Col: col, Op: OpEq, Val: v} }
+
+// Gt / Ge / Lt / Le / Ne build comparison predicates.
+func Gt(col string, v Value) Pred { return Pred{Col: col, Op: OpGt, Val: v} }
+func Ge(col string, v Value) Pred { return Pred{Col: col, Op: OpGe, Val: v} }
+func Lt(col string, v Value) Pred { return Pred{Col: col, Op: OpLt, Val: v} }
+func Le(col string, v Value) Pred { return Pred{Col: col, Op: OpLe, Val: v} }
+func Ne(col string, v Value) Pred { return Pred{Col: col, Op: OpNe, Val: v} }
+
+// Between builds a half-open range predicate lo <= col < hi.
+func Between(col string, lo, hi Value) Pred {
+	return Pred{Col: col, Op: OpBetween, Val: lo, Hi: hi}
+}
+
+func (p Pred) eval(r Row) bool {
+	v, ok := r[p.Col]
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case OpEq:
+		return v.Equal(p.Val)
+	case OpNe:
+		return !v.Equal(p.Val)
+	case OpLt:
+		return v.Less(p.Val)
+	case OpLe:
+		return v.Less(p.Val) || v.Equal(p.Val)
+	case OpGt:
+		return p.Val.Less(v)
+	case OpGe:
+		return p.Val.Less(v) || p.Val.Equal(v)
+	case OpBetween:
+		geLo := p.Val.Less(v) || p.Val.Equal(v)
+		ltHi := v.Less(p.Hi)
+		return geLo && ltHi
+	}
+	return false
+}
+
+// Query is a fluent select over one table. The planner uses a secondary
+// index for the first indexable predicate (equality or range on an indexed
+// or primary-key column); remaining predicates are applied as filters.
+type Query struct {
+	t       *Table
+	preds   []Pred
+	limit   int
+	orderBy string
+	desc    bool
+}
+
+// Select starts a query on the table.
+func (t *Table) Select() *Query { return &Query{t: t, limit: -1} }
+
+// Where adds a predicate (conjunctive).
+func (q *Query) Where(p Pred) *Query { q.preds = append(q.preds, p); return q }
+
+// Limit caps the number of rows returned (applied after ordering).
+func (q *Query) Limit(n int) *Query { q.limit = n; return q }
+
+// OrderBy sorts results by the given column ascending (desc=false).
+func (q *Query) OrderBy(col string, desc bool) *Query {
+	q.orderBy = col
+	q.desc = desc
+	return q
+}
+
+// Plan describes how a query will execute (exposed for tests and E5).
+type Plan struct {
+	// Access is "pk", "index" or "scan".
+	Access string
+	// Column is the access column for pk/index plans.
+	Column string
+}
+
+// plan selects the access path: a primary-key point/range, a secondary
+// index point/range, or a full scan.
+func (q *Query) plan() (Plan, *Pred) {
+	for i := range q.preds {
+		p := &q.preds[i]
+		if !indexableOp(p.Op) {
+			continue
+		}
+		if p.Col == q.t.schema.Key {
+			return Plan{Access: "pk", Column: p.Col}, p
+		}
+	}
+	for i := range q.preds {
+		p := &q.preds[i]
+		if !indexableOp(p.Op) {
+			continue
+		}
+		for _, idx := range q.t.schema.Indexes {
+			if p.Col == idx {
+				return Plan{Access: "index", Column: p.Col}, p
+			}
+		}
+	}
+	return Plan{Access: "scan"}, nil
+}
+
+// Explain returns the plan chosen for this query.
+func (q *Query) Explain() Plan {
+	p, _ := q.plan()
+	return p
+}
+
+func indexableOp(op Op) bool {
+	switch op {
+	case OpEq, OpLt, OpLe, OpGt, OpGe, OpBetween:
+		return true
+	}
+	return false
+}
+
+// Rows executes the query and returns all matching rows.
+func (q *Query) Rows() ([]Row, error) {
+	var out []Row
+	err := q.Each(func(r Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out, err
+}
+
+// First returns the first matching row, with ok=false when none match.
+func (q *Query) First() (Row, bool, error) {
+	var row Row
+	found := false
+	err := q.Each(func(r Row) bool {
+		row = r
+		found = true
+		return false
+	})
+	return row, found, err
+}
+
+// Count executes the query and returns the number of matches.
+func (q *Query) Count() (int, error) {
+	n := 0
+	err := q.Each(func(Row) bool { n++; return true })
+	return n, err
+}
+
+// Each streams matching rows to fn; fn returning false stops iteration.
+// When OrderBy is set, rows are buffered and sorted first.
+func (q *Query) Each(fn func(Row) bool) error {
+	if q.orderBy != "" {
+		rows, err := q.collect()
+		if err != nil {
+			return err
+		}
+		col := q.orderBy
+		sort.SliceStable(rows, func(i, j int) bool {
+			if q.desc {
+				return rows[j][col].Less(rows[i][col])
+			}
+			return rows[i][col].Less(rows[j][col])
+		})
+		if q.limit >= 0 && len(rows) > q.limit {
+			rows = rows[:q.limit]
+		}
+		for _, r := range rows {
+			if !fn(r) {
+				return nil
+			}
+		}
+		return nil
+	}
+	n := 0
+	return q.each(func(r Row) bool {
+		if q.limit >= 0 && n >= q.limit {
+			return false
+		}
+		n++
+		return fn(r)
+	})
+}
+
+func (q *Query) collect() ([]Row, error) {
+	var rows []Row
+	err := q.each(func(r Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	return rows, err
+}
+
+// each is the unordered, unlimited row stream.
+func (q *Query) each(fn func(Row) bool) error {
+	plan, driver := q.plan()
+	filter := func(r Row) bool {
+		for i := range q.preds {
+			p := &q.preds[i]
+			if driver != nil && p == driver && p.Op != OpNe {
+				// The driving predicate is enforced by the scan bounds for
+				// Eq/Between; for open ranges bounds are one-sided, so
+				// re-check to be safe (cheap).
+				if !p.eval(r) {
+					return false
+				}
+				continue
+			}
+			if !p.eval(r) {
+				return false
+			}
+		}
+		return true
+	}
+
+	switch plan.Access {
+	case "pk":
+		lo, hi := q.t.pkBounds(driver)
+		return q.t.db.kv.Scan(lo, hi, func(k, v []byte) bool {
+			r, err := decodeRow(&q.t.schema, v)
+			if err != nil {
+				return true
+			}
+			if !filter(r) {
+				return true
+			}
+			return fn(r)
+		})
+	case "index":
+		ci := q.t.schema.colIndex(plan.Column)
+		lo, hi := q.t.idxBounds(ci, driver)
+		// Collect PK encodings from the index, then fetch rows.
+		var pks [][]byte
+		prefix := q.t.idxPrefix(ci)
+		err := q.t.db.kv.Scan(lo, hi, func(k, v []byte) bool {
+			if !bytes.HasPrefix(k, prefix) {
+				return false
+			}
+			pks = append(pks, v)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		for _, pkEnc := range pks {
+			r, ok, err := q.t.rowByPKEnc(pkEnc)
+			if err != nil {
+				return err
+			}
+			if !ok || !filter(r) {
+				continue
+			}
+			if !fn(r) {
+				return nil
+			}
+		}
+		return nil
+	default:
+		return q.t.db.kv.ScanPrefix(q.t.rowPrefix(), func(k, v []byte) bool {
+			r, err := decodeRow(&q.t.schema, v)
+			if err != nil {
+				return true
+			}
+			if !filter(r) {
+				return true
+			}
+			return fn(r)
+		})
+	}
+}
+
+// pkBounds converts the driving predicate into a [lo,hi) byte range over the
+// table's row keyspace.
+func (t *Table) pkBounds(p *Pred) (lo, hi []byte) {
+	prefix := t.rowPrefix()
+	switch p.Op {
+	case OpEq:
+		lo = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		hi = append(append([]byte(nil), lo...), 0x00)
+	case OpGe, OpGt:
+		lo = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		if p.Op == OpGt {
+			lo = append(lo, 0xff)
+		}
+		hi = prefixEnd(prefix)
+	case OpLt, OpLe:
+		lo = append([]byte(nil), prefix...)
+		hi = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		if p.Op == OpLe {
+			hi = append(hi, 0x00)
+		}
+	case OpBetween:
+		lo = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		hi = encodeOrdered(p.Hi, append([]byte(nil), prefix...))
+	default:
+		lo = append([]byte(nil), prefix...)
+		hi = prefixEnd(prefix)
+	}
+	return lo, hi
+}
+
+// idxBounds converts the driving predicate into a range over index keys.
+func (t *Table) idxBounds(ci int, p *Pred) (lo, hi []byte) {
+	prefix := t.idxPrefix(ci)
+	switch p.Op {
+	case OpEq:
+		lo = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		hi = prefixEnd(lo)
+	case OpGe, OpGt:
+		lo = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		if p.Op == OpGt {
+			lo = prefixEnd(lo)
+		}
+		hi = prefixEnd(prefix)
+	case OpLt, OpLe:
+		lo = append([]byte(nil), prefix...)
+		hi = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		if p.Op == OpLe {
+			hi = prefixEnd(hi)
+		}
+	case OpBetween:
+		lo = encodeOrdered(p.Val, append([]byte(nil), prefix...))
+		hi = encodeOrdered(p.Hi, append([]byte(nil), prefix...))
+	default:
+		lo = append([]byte(nil), prefix...)
+		hi = prefixEnd(prefix)
+	}
+	return lo, hi
+}
+
+// rowByPKEnc resolves an index entry's stored PK encoding back to its row.
+func (t *Table) rowByPKEnc(pkEnc []byte) (Row, bool, error) {
+	rowKey := append(append([]byte(nil), t.rowPrefix()...), pkEnc...)
+	blob, ok, err := t.db.kv.Get(rowKey)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	r, err := decodeRow(&t.schema, blob)
+	if err != nil {
+		return nil, false, err
+	}
+	return r, true, nil
+}
+
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

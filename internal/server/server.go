@@ -1,0 +1,311 @@
+// Package server exposes the Memex engine over HTTP as the paper's
+// servlets do (§2-3): all client/server interaction tunnels over plain
+// HTTP with JSON bodies so that firewalls, proxies and ISP restrictions
+// never block the applet. UI-triggered endpoints (event logging, folder
+// edits) do only foreground work and return immediately; mining results
+// are served from the demons' published state.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"memex/internal/core"
+	"memex/internal/events"
+)
+
+// Server wraps an engine with the HTTP API.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+}
+
+// New builds the handler set over an engine.
+func New(e *core.Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/user", s.handleUser)
+	s.mux.HandleFunc("POST /api/event", s.handleEvent)
+	s.mux.HandleFunc("POST /api/bookmark", s.handleBookmark)
+	s.mux.HandleFunc("POST /api/correct", s.handleCorrect)
+	s.mux.HandleFunc("POST /api/folders/import", s.handleImport)
+	s.mux.HandleFunc("GET /api/folders/export", s.handleExport)
+	s.mux.HandleFunc("GET /api/search", s.handleSearch)
+	s.mux.HandleFunc("GET /api/trails", s.handleTrails)
+	s.mux.HandleFunc("GET /api/themes", s.handleThemes)
+	s.mux.HandleFunc("POST /api/themes/rebuild", s.handleRebuild)
+	s.mux.HandleFunc("GET /api/recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /api/discover", s.handleDiscover)
+	s.mux.HandleFunc("GET /api/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /api/usage", s.handleUsage)
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- request/response DTOs (shared with the client package) ---
+
+// UserReq registers a user.
+type UserReq struct {
+	ID   int64  `json:"id"`
+	Name string `json:"name"`
+}
+
+// EventReq is one page-view event from the client tap.
+type EventReq struct {
+	User     int64     `json:"user"`
+	URL      string    `json:"url"`
+	Referrer string    `json:"referrer,omitempty"`
+	Time     time.Time `json:"time"`
+	// Privacy is "off", "private" or "community" (default community).
+	Privacy string `json:"privacy,omitempty"`
+}
+
+// BookmarkReq files a page into a folder.
+type BookmarkReq struct {
+	User   int64     `json:"user"`
+	URL    string    `json:"url"`
+	Folder string    `json:"folder"`
+	Time   time.Time `json:"time"`
+}
+
+// CorrectReq fixes a classifier guess (cut/paste in the folder tab).
+type CorrectReq struct {
+	User   int64  `json:"user"`
+	URL    string `json:"url"`
+	Folder string `json:"folder"`
+}
+
+// OK is the generic success envelope.
+type OK struct {
+	OK bool `json:"ok"`
+}
+
+// ErrBody is the generic error envelope.
+type ErrBody struct {
+	Error string `json:"error"`
+}
+
+func parsePrivacy(s string) events.Privacy {
+	switch s {
+	case "off":
+		return events.Off
+	case "private":
+		return events.Private
+	default:
+		return events.Community
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrBody{Error: err.Error()})
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, fmt.Errorf("bad request body: %w", err)
+	}
+	return v, nil
+}
+
+func qint64(r *http.Request, name string) int64 {
+	v, _ := strconv.ParseInt(r.URL.Query().Get(name), 10, 64)
+	return v
+}
+
+func qint(r *http.Request, name string, def int) int {
+	v, err := strconv.Atoi(r.URL.Query().Get(name))
+	if err != nil || v <= 0 {
+		return def
+	}
+	return v
+}
+
+// --- handlers ---
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[UserReq](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == 0 || req.Name == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("id and name required"))
+		return
+	}
+	if err := s.engine.RegisterUser(req.ID, req.Name); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OK{true})
+}
+
+func (s *Server) handleEvent(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[EventReq](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.User == 0 || req.URL == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user and url required"))
+		return
+	}
+	if err := s.engine.RecordVisit(req.User, req.URL, req.Referrer, req.Time, parsePrivacy(req.Privacy)); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OK{true})
+}
+
+func (s *Server) handleBookmark(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[BookmarkReq](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.User == 0 || req.URL == "" || req.Folder == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user, url and folder required"))
+		return
+	}
+	if err := s.engine.AddBookmark(req.User, req.URL, req.Folder, req.Time); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OK{true})
+}
+
+func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
+	req, err := decode[CorrectReq](r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.engine.CorrectPlacement(req.User, req.URL, req.Folder); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, OK{true})
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	user := qint64(r, "user")
+	if user == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+		return
+	}
+	n, err := s.engine.ImportBookmarks(user, r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"imported": n})
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	user := qint64(r, "user")
+	if user == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	s.engine.ExportBookmarks(user, w)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("q required"))
+		return
+	}
+	hits := s.engine.Search(qint64(r, "user"), q, qint(r, "k", 10))
+	writeJSON(w, http.StatusOK, hits)
+}
+
+func (s *Server) handleTrails(w http.ResponseWriter, r *http.Request) {
+	user := qint64(r, "user")
+	folder := r.URL.Query().Get("folder")
+	if user == 0 || folder == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user and folder required"))
+		return
+	}
+	ctx := s.engine.Trails(user, folder, qint(r, "k", 20))
+	writeJSON(w, http.StatusOK, ctx)
+}
+
+func (s *Server) handleThemes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Themes())
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.RebuildThemes()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	user := qint64(r, "user")
+	if user == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+		return
+	}
+	byProfile := r.URL.Query().Get("method") != "url"
+	writeJSON(w, http.StatusOK, s.engine.Recommend(user, qint(r, "k", 10), byProfile))
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	user := qint64(r, "user")
+	folder := r.URL.Query().Get("folder")
+	if user == 0 || folder == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user and folder required"))
+		return
+	}
+	out := s.engine.Discover(user, folder, qint(r, "budget", 200), qint(r, "k", 10))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	user := qint64(r, "user")
+	if user == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+		return
+	}
+	p := s.engine.Profile(user)
+	if p == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"user": user, "weights": map[int]float64{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"user": p.User, "weights": p.Weights})
+}
+
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	user := qint64(r, "user")
+	if user == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+		return
+	}
+	var since time.Time
+	if v := r.URL.Query().Get("since"); v != "" {
+		if t, err := time.Parse(time.RFC3339, v); err == nil {
+			since = t
+		}
+	}
+	writeJSON(w, http.StatusOK, s.engine.UsageBreakdown(user, since))
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Status())
+}

@@ -1,0 +1,439 @@
+// Package textindex implements Memex's full-text search over all pages a
+// community has visited: an in-memory inverted index with incremental
+// updates, deletions, boolean filtering, and ranked retrieval under both
+// classic TF-IDF cosine and BM25 scoring. Postings can be persisted into a
+// kvstore keyspace and reloaded (the paper keeps term-level indices in its
+// Berkeley DB layer).
+package textindex
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"memex/internal/kvstore"
+	"memex/internal/text"
+)
+
+// Posting is one document entry in a term's posting list.
+type Posting struct {
+	Doc int64
+	TF  int32
+}
+
+// Index is the inverted index. Safe for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	dict     *text.Dict
+	postings map[int32][]Posting // term id → postings sorted by Doc
+	docLen   map[int64]int       // doc → token count
+	docTerms map[int64][]int32   // doc → term ids (for precise removal)
+	totalLen int64
+	deleted  map[int64]bool
+}
+
+// New returns an empty index sharing the given dictionary (pass nil to
+// create a private one).
+func New(dict *text.Dict) *Index {
+	if dict == nil {
+		dict = text.NewDict()
+	}
+	return &Index{
+		dict:     dict,
+		postings: make(map[int32][]Posting),
+		docLen:   make(map[int64]int),
+		docTerms: make(map[int64][]int32),
+		deleted:  make(map[int64]bool),
+	}
+}
+
+// Dict returns the index's term dictionary.
+func (ix *Index) Dict() *text.Dict { return ix.dict }
+
+// Add indexes document content under id doc. Re-adding an id replaces the
+// previous version (via tombstone + fresh postings).
+func (ix *Index) Add(doc int64, content string) {
+	tf := text.TermCounts(content)
+	ix.AddCounts(doc, tf)
+}
+
+// AddCounts indexes a precomputed term-count map.
+func (ix *Index) AddCounts(doc int64, tf map[string]int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, exists := ix.docLen[doc]; exists {
+		ix.removePostingsLocked(doc)
+		ix.deleteLocked(doc)
+	}
+	delete(ix.deleted, doc)
+	total := 0
+	terms := make([]int32, 0, len(tf))
+	for term, n := range tf {
+		id := ix.dict.ID(term)
+		pl := ix.postings[id]
+		i := sort.Search(len(pl), func(i int) bool { return pl[i].Doc >= doc })
+		if i < len(pl) && pl[i].Doc == doc {
+			pl[i].TF = int32(n)
+		} else {
+			pl = append(pl, Posting{})
+			copy(pl[i+1:], pl[i:])
+			pl[i] = Posting{Doc: doc, TF: int32(n)}
+		}
+		ix.postings[id] = pl
+		terms = append(terms, id)
+		total += n
+	}
+	ix.docTerms[doc] = terms
+	ix.docLen[doc] = total
+	ix.totalLen += int64(total)
+}
+
+// Delete removes doc from the index (lazy: postings are filtered at query
+// time and compacted by Vacuum).
+func (ix *Index) Delete(doc int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.deleteLocked(doc)
+}
+
+func (ix *Index) deleteLocked(doc int64) {
+	if n, ok := ix.docLen[doc]; ok {
+		ix.totalLen -= int64(n)
+		delete(ix.docLen, doc)
+		ix.deleted[doc] = true
+	}
+}
+
+// removePostingsLocked physically removes doc's postings (used on re-add so
+// the fresh postings are authoritative immediately).
+func (ix *Index) removePostingsLocked(doc int64) {
+	for _, id := range ix.docTerms[doc] {
+		pl := ix.postings[id]
+		i := sort.Search(len(pl), func(i int) bool { return pl[i].Doc >= doc })
+		if i < len(pl) && pl[i].Doc == doc {
+			pl = append(pl[:i], pl[i+1:]...)
+			if len(pl) == 0 {
+				delete(ix.postings, id)
+			} else {
+				ix.postings[id] = pl
+			}
+		}
+	}
+	delete(ix.docTerms, doc)
+}
+
+// Vacuum rewrites posting lists dropping deleted documents.
+func (ix *Index) Vacuum() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(ix.deleted) == 0 {
+		return
+	}
+	for id, pl := range ix.postings {
+		out := pl[:0]
+		for _, p := range pl {
+			if !ix.deleted[p.Doc] {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			delete(ix.postings, id)
+		} else {
+			ix.postings[id] = out
+		}
+	}
+	for doc := range ix.deleted {
+		delete(ix.docTerms, doc)
+	}
+	ix.deleted = make(map[int64]bool)
+}
+
+// Docs returns the number of live documents.
+func (ix *Index) Docs() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docLen)
+}
+
+// Terms returns the number of distinct indexed terms.
+func (ix *Index) Terms() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
+// DF returns the document frequency of a raw (unstemmed) query term.
+func (ix *Index) DF(term string) int {
+	stems := text.Terms(term)
+	if len(stems) == 0 {
+		return 0
+	}
+	id, ok := ix.dict.Lookup(stems[0])
+	if !ok {
+		return 0
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, p := range ix.postings[id] {
+		if !ix.deleted[p.Doc] {
+			n++
+		}
+	}
+	return n
+}
+
+// Scoring selects the ranking function.
+type Scoring int
+
+const (
+	// TFIDF ranks by cosine of tf-idf weights (the 1993 scatter/gather era
+	// weighting Memex started from).
+	TFIDF Scoring = iota
+	// BM25 ranks by Okapi BM25 (k1=1.2, b=0.75).
+	BM25
+)
+
+// Hit is one ranked search result.
+type Hit struct {
+	Doc   int64
+	Score float64
+}
+
+// Search returns the top-k documents matching the free-text query, ranked
+// by the selected scoring function. Multi-term queries are disjunctive
+// (any term matches) as in the classic vector model.
+func (ix *Index) Search(query string, k int, scoring Scoring) []Hit {
+	terms := text.Terms(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	qtf := map[string]int{}
+	for _, t := range terms {
+		qtf[t]++
+	}
+
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	nDocs := len(ix.docLen)
+	if nDocs == 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(nDocs)
+	scores := make(map[int64]float64)
+
+	for term, qn := range qtf {
+		id, ok := ix.dict.Lookup(term)
+		if !ok {
+			continue
+		}
+		pl := ix.postings[id]
+		df := 0
+		for _, p := range pl {
+			if !ix.deleted[p.Doc] {
+				df++
+			}
+		}
+		if df == 0 {
+			continue
+		}
+		switch scoring {
+		case BM25:
+			idf := math.Log(1 + (float64(nDocs)-float64(df)+0.5)/(float64(df)+0.5))
+			const k1, b = 1.2, 0.75
+			for _, p := range pl {
+				if ix.deleted[p.Doc] {
+					continue
+				}
+				tf := float64(p.TF)
+				dl := float64(ix.docLen[p.Doc])
+				norm := tf * (k1 + 1) / (tf + k1*(1-b+b*dl/avgLen))
+				scores[p.Doc] += float64(qn) * idf * norm
+			}
+		default: // TFIDF
+			idf := math.Log(float64(1+nDocs) / float64(1+df))
+			qw := (1 + math.Log(float64(qn))) * idf
+			for _, p := range pl {
+				if ix.deleted[p.Doc] {
+					continue
+				}
+				dw := (1 + math.Log(float64(p.TF))) * idf
+				dl := float64(ix.docLen[p.Doc])
+				if dl > 0 {
+					dw /= math.Sqrt(dl)
+				}
+				scores[p.Doc] += qw * dw
+			}
+		}
+	}
+	return topK(scores, k)
+}
+
+// SearchAll returns top-k documents containing every query term (boolean
+// AND), ranked by the selected scoring.
+func (ix *Index) SearchAll(query string, k int, scoring Scoring) []Hit {
+	terms := text.Terms(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	required := make(map[int64]int)
+	distinct := map[string]bool{}
+	for _, t := range terms {
+		distinct[t] = true
+	}
+
+	ix.mu.RLock()
+	for t := range distinct {
+		id, ok := ix.dict.Lookup(t)
+		if !ok {
+			ix.mu.RUnlock()
+			return nil
+		}
+		for _, p := range ix.postings[id] {
+			if !ix.deleted[p.Doc] {
+				required[p.Doc]++
+			}
+		}
+	}
+	ix.mu.RUnlock()
+
+	hits := ix.Search(query, len(required)+k, scoring)
+	out := hits[:0]
+	for _, h := range hits {
+		if required[h.Doc] == len(distinct) {
+			out = append(out, h)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// topK selects the k highest-scoring docs using a min-heap.
+func topK(scores map[int64]float64, k int) []Hit {
+	h := &hitHeap{}
+	heap.Init(h)
+	for doc, s := range scores {
+		if h.Len() < k {
+			heap.Push(h, Hit{doc, s})
+		} else if s > (*h)[0].Score || (s == (*h)[0].Score && doc < (*h)[0].Doc) {
+			(*h)[0] = Hit{doc, s}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Hit, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Hit)
+	}
+	return out
+}
+
+type hitHeap []Hit
+
+func (h hitHeap) Len() int { return len(h) }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc // stable: lower doc id wins ties
+}
+func (h hitHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)   { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// --- persistence into a kvstore keyspace ---
+
+// Save writes the index into store under prefix. Layout:
+//
+//	<prefix>/t/<term>  → packed postings (varint doc deltas + tf)
+//	<prefix>/d/<doc>   → doc length (varint)
+func (ix *Index) Save(store *kvstore.Store, prefix string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var batch []kvstore.KV
+	for id, pl := range ix.postings {
+		term := ix.dict.Term(id)
+		var buf []byte
+		var prev int64
+		for _, p := range pl {
+			if ix.deleted[p.Doc] {
+				continue
+			}
+			buf = binary.AppendUvarint(buf, uint64(p.Doc-prev))
+			buf = binary.AppendUvarint(buf, uint64(p.TF))
+			prev = p.Doc
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		batch = append(batch, kvstore.KV{
+			Key:   []byte(fmt.Sprintf("%s/t/%s", prefix, term)),
+			Value: buf,
+		})
+	}
+	for doc, n := range ix.docLen {
+		var buf []byte
+		buf = binary.AppendUvarint(buf, uint64(n))
+		batch = append(batch, kvstore.KV{
+			Key:   []byte(fmt.Sprintf("%s/d/%016x", prefix, uint64(doc))),
+			Value: buf,
+		})
+	}
+	return store.PutBatch(batch)
+}
+
+// Load reads an index previously written by Save.
+func Load(store *kvstore.Store, prefix string, dict *text.Dict) (*Index, error) {
+	ix := New(dict)
+	err := store.ScanPrefix([]byte(prefix+"/t/"), func(k, v []byte) bool {
+		term := string(k[len(prefix)+3:])
+		id := ix.dict.ID(term)
+		var pl []Posting
+		var prev int64
+		for len(v) > 0 {
+			delta, n := binary.Uvarint(v)
+			if n <= 0 {
+				break
+			}
+			v = v[n:]
+			tf, n2 := binary.Uvarint(v)
+			if n2 <= 0 {
+				break
+			}
+			v = v[n2:]
+			prev += int64(delta)
+			pl = append(pl, Posting{Doc: prev, TF: int32(tf)})
+		}
+		ix.postings[id] = pl
+		for _, p := range pl {
+			ix.docTerms[p.Doc] = append(ix.docTerms[p.Doc], id)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = store.ScanPrefix([]byte(prefix+"/d/"), func(k, v []byte) bool {
+		var doc uint64
+		fmt.Sscanf(string(k[len(prefix)+3:]), "%016x", &doc)
+		n, _ := binary.Uvarint(v)
+		ix.docLen[int64(doc)] = int(n)
+		ix.totalLen += int64(n)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
+}

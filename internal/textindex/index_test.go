@@ -1,0 +1,260 @@
+package textindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"memex/internal/kvstore"
+)
+
+func seedIndex() *Index {
+	ix := New(nil)
+	ix.Add(1, "classical music symphonies by Beethoven and Mozart")
+	ix.Add(2, "jazz music improvisation saxophone")
+	ix.Add(3, "compiler optimization register allocation at Rice University")
+	ix.Add(4, "classical guitar music lessons")
+	ix.Add(5, "database systems storage manager transactions")
+	return ix
+}
+
+func docsOf(hits []Hit) []int64 {
+	out := make([]int64, len(hits))
+	for i, h := range hits {
+		out[i] = h.Doc
+	}
+	return out
+}
+
+func contains(hits []Hit, doc int64) bool {
+	for _, h := range hits {
+		if h.Doc == doc {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBasicSearch(t *testing.T) {
+	ix := seedIndex()
+	for _, scoring := range []Scoring{TFIDF, BM25} {
+		hits := ix.Search("classical music", 10, scoring)
+		if len(hits) == 0 {
+			t.Fatalf("scoring %v: no hits", scoring)
+		}
+		// Docs 1 and 4 match both terms; they must outrank docs 2 (music only).
+		if !(hits[0].Doc == 1 || hits[0].Doc == 4) {
+			t.Fatalf("scoring %v: top hit %v", scoring, hits[0])
+		}
+		if !contains(hits, 2) {
+			t.Fatalf("scoring %v: disjunctive search missed doc 2: %v", scoring, docsOf(hits))
+		}
+		if contains(hits, 5) {
+			t.Fatalf("scoring %v: unrelated doc 5 matched", scoring)
+		}
+	}
+}
+
+func TestSearchRankingOrder(t *testing.T) {
+	ix := seedIndex()
+	hits := ix.Search("compiler optimization", 10, BM25)
+	if len(hits) != 1 || hits[0].Doc != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// Scores descending.
+	hits = ix.Search("music", 10, BM25)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatalf("scores not descending: %v", hits)
+		}
+	}
+}
+
+func TestSearchAll(t *testing.T) {
+	ix := seedIndex()
+	hits := ix.SearchAll("classical music", 10, BM25)
+	if len(hits) != 2 {
+		t.Fatalf("AND search got %v", docsOf(hits))
+	}
+	for _, h := range hits {
+		if h.Doc != 1 && h.Doc != 4 {
+			t.Fatalf("AND search matched doc %d", h.Doc)
+		}
+	}
+	if hits := ix.SearchAll("classical saxophone", 10, BM25); len(hits) != 0 {
+		t.Fatalf("impossible AND matched %v", docsOf(hits))
+	}
+	if hits := ix.SearchAll("nonexistentterm music", 10, BM25); hits != nil {
+		t.Fatalf("AND with unseen term returned %v", docsOf(hits))
+	}
+}
+
+func TestTopKLimit(t *testing.T) {
+	ix := seedIndex()
+	hits := ix.Search("music", 2, TFIDF)
+	if len(hits) != 2 {
+		t.Fatalf("k=2 got %d hits", len(hits))
+	}
+}
+
+func TestEmptyAndStopwordQueries(t *testing.T) {
+	ix := seedIndex()
+	if hits := ix.Search("", 5, BM25); hits != nil {
+		t.Fatal("empty query matched")
+	}
+	if hits := ix.Search("the and of", 5, BM25); hits != nil {
+		t.Fatal("stopword query matched")
+	}
+	if hits := ix.Search("music", 0, BM25); hits != nil {
+		t.Fatal("k=0 returned hits")
+	}
+}
+
+func TestReAddReplaces(t *testing.T) {
+	ix := seedIndex()
+	ix.Add(2, "cooking recipes pasta")
+	if hits := ix.Search("jazz", 5, BM25); len(hits) != 0 {
+		t.Fatalf("old content still searchable: %v", docsOf(hits))
+	}
+	hits := ix.Search("pasta", 5, BM25)
+	if len(hits) != 1 || hits[0].Doc != 2 {
+		t.Fatalf("new content not searchable: %v", hits)
+	}
+	if ix.Docs() != 5 {
+		t.Fatalf("Docs = %d, want 5", ix.Docs())
+	}
+}
+
+func TestDeleteAndVacuum(t *testing.T) {
+	ix := seedIndex()
+	ix.Delete(1)
+	if hits := ix.Search("beethoven", 5, BM25); len(hits) != 0 {
+		t.Fatalf("deleted doc matched: %v", docsOf(hits))
+	}
+	if ix.Docs() != 4 {
+		t.Fatalf("Docs = %d", ix.Docs())
+	}
+	preTerms := ix.Terms()
+	ix.Vacuum()
+	if ix.Terms() >= preTerms {
+		t.Fatalf("Vacuum did not drop orphaned terms: %d -> %d", preTerms, ix.Terms())
+	}
+	if hits := ix.Search("classical", 5, BM25); len(hits) != 1 || hits[0].Doc != 4 {
+		t.Fatalf("post-vacuum search: %v", docsOf(hits))
+	}
+	// Deleting a missing doc is harmless.
+	ix.Delete(999)
+}
+
+func TestDF(t *testing.T) {
+	ix := seedIndex()
+	if df := ix.DF("music"); df != 3 {
+		t.Fatalf("DF(music) = %d, want 3", df)
+	}
+	if df := ix.DF("unseen"); df != 0 {
+		t.Fatalf("DF(unseen) = %d", df)
+	}
+	ix.Delete(2)
+	if df := ix.DF("music"); df != 2 {
+		t.Fatalf("DF(music) after delete = %d, want 2", df)
+	}
+}
+
+func TestStemmedMatching(t *testing.T) {
+	ix := New(nil)
+	ix.Add(1, "optimizing compilers")
+	hits := ix.Search("compiler optimization", 5, BM25)
+	if len(hits) != 1 {
+		t.Fatalf("stemmed match failed: %v", hits)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := kvstore.Open(dir, kvstore.Options{Sync: kvstore.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	ix := seedIndex()
+	ix.Delete(5) // deleted docs must not survive the round trip
+	if err := ix.Save(store, "idx"); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	ix2, err := Load(store, "idx", nil)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if ix2.Docs() != 4 {
+		t.Fatalf("loaded Docs = %d, want 4", ix2.Docs())
+	}
+	for _, q := range []string{"classical music", "jazz", "compiler"} {
+		a := docsOf(ix.Search(q, 10, BM25))
+		b := docsOf(ix2.Search(q, 10, BM25))
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("query %q: loaded index differs: %v vs %v", q, a, b)
+		}
+	}
+	if hits := ix2.Search("database", 5, BM25); len(hits) != 0 {
+		t.Fatal("deleted doc resurrected by Save/Load")
+	}
+}
+
+func TestLargeIndexConsistency(t *testing.T) {
+	ix := New(nil)
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"music", "jazz", "classical", "compiler", "database", "travel", "cycling", "news", "crawler", "hypertext"}
+	docTerms := make(map[int64]map[string]bool)
+	for d := int64(0); d < 500; d++ {
+		var content string
+		terms := map[string]bool{}
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			w := vocab[rng.Intn(len(vocab))]
+			content += w + " "
+			terms[w] = true
+		}
+		ix.Add(d, content)
+		docTerms[d] = terms
+	}
+	// Every doc containing "jazz" must be returned with a large enough k.
+	hits := ix.Search("jazz", 1000, BM25)
+	got := map[int64]bool{}
+	for _, h := range hits {
+		got[h.Doc] = true
+	}
+	for d, terms := range docTerms {
+		if terms["jazz"] != got[d] {
+			t.Fatalf("doc %d: in-index=%v returned=%v", d, terms["jazz"], got[d])
+		}
+	}
+}
+
+func BenchmarkIndexAdd(b *testing.B) {
+	ix := New(nil)
+	doc := "memex archives community browsing trails mining topical themes hierarchical classification clustering hypertext"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Add(int64(i), doc)
+	}
+}
+
+func BenchmarkSearchBM25(b *testing.B) {
+	ix := New(nil)
+	rng := rand.New(rand.NewSource(5))
+	vocab := make([]string, 200)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("term%c%c", 'a'+i%26, 'a'+(i/26)%26)
+	}
+	for d := int64(0); d < 5000; d++ {
+		var content string
+		for i := 0; i < 30; i++ {
+			content += vocab[rng.Intn(len(vocab))] + " "
+		}
+		ix.Add(d, content)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("termaa termbb termcc", 10, BM25)
+	}
+}

@@ -1,0 +1,211 @@
+package trails
+
+import (
+	"testing"
+	"time"
+
+	"memex/internal/graph"
+)
+
+var t0 = time.Date(2000, 5, 20, 10, 0, 0, 0, time.UTC)
+
+func v(user, page, ref int64, offset time.Duration) Visit {
+	return Visit{User: user, Page: page, Referrer: ref, Time: t0.Add(offset)}
+}
+
+func TestSegmentByGap(t *testing.T) {
+	visits := []Visit{
+		v(1, 10, 0, 0),
+		v(1, 11, 10, time.Minute),
+		v(1, 12, 11, 2*time.Minute),
+		// 45-minute silence: new session.
+		v(1, 20, 0, 47*time.Minute),
+		v(1, 21, 20, 48*time.Minute),
+	}
+	sessions := Segment(visits, 30*time.Minute)
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+	if len(sessions[0].Visits) != 3 || len(sessions[1].Visits) != 2 {
+		t.Fatalf("session sizes: %d, %d", len(sessions[0].Visits), len(sessions[1].Visits))
+	}
+	if sessions[0].End.Sub(sessions[0].Start) != 2*time.Minute {
+		t.Fatalf("session span wrong")
+	}
+}
+
+func TestSegmentInterleavedUsers(t *testing.T) {
+	visits := []Visit{
+		v(1, 10, 0, 0),
+		v(2, 50, 0, time.Second),
+		v(1, 11, 10, time.Minute),
+		v(2, 51, 50, time.Minute+time.Second),
+	}
+	sessions := Segment(visits, 0)
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+	for _, s := range sessions {
+		for _, vv := range s.Visits {
+			if vv.User != s.User {
+				t.Fatal("session mixes users")
+			}
+		}
+	}
+}
+
+func TestSegmentEmpty(t *testing.T) {
+	if got := Segment(nil, 0); len(got) != 0 {
+		t.Fatalf("Segment(nil) = %v", got)
+	}
+}
+
+func TestBuildWeightsAndEdges(t *testing.T) {
+	sessions := Segment([]Visit{
+		v(1, 10, 0, 0),
+		v(1, 11, 10, time.Minute),
+		v(1, 10, 11, 2*time.Minute), // revisit: weight accumulates
+	}, 0)
+	now := t0.Add(time.Hour)
+	tg := Build(sessions, now, 7*24*time.Hour)
+	if len(tg.Nodes) != 2 {
+		t.Fatalf("nodes = %v", tg.Nodes)
+	}
+	if tg.Nodes[0] != 10 {
+		t.Fatalf("heaviest node = %d, want 10 (visited twice)", tg.Nodes[0])
+	}
+	if tg.Edges[[2]int64{10, 11}] != 1 || tg.Edges[[2]int64{11, 10}] != 1 {
+		t.Fatalf("edges = %v", tg.Edges)
+	}
+	if !tg.LastVisit[10].Equal(t0.Add(2 * time.Minute)) {
+		t.Fatal("LastVisit wrong")
+	}
+}
+
+func TestRecencyDecay(t *testing.T) {
+	// Same page visited once long ago vs page visited once now.
+	old := Visit{User: 1, Page: 1, Time: t0}
+	recent := Visit{User: 1, Page: 2, Time: t0.Add(14 * 24 * time.Hour)}
+	tg := Build(Segment([]Visit{old, recent}, 0), t0.Add(14*24*time.Hour), 7*24*time.Hour)
+	if tg.Weight[2] <= tg.Weight[1] {
+		t.Fatalf("no recency decay: old=%v recent=%v", tg.Weight[1], tg.Weight[2])
+	}
+	// Two half-lives → weight ≈ 1/4.
+	if tg.Weight[1] > 0.3 || tg.Weight[1] < 0.2 {
+		t.Fatalf("decay off: %v", tg.Weight[1])
+	}
+}
+
+func TestFallbackEdgesWithoutReferrer(t *testing.T) {
+	// No referrers: consecutive session visits still chain.
+	tg := Build(Segment([]Visit{
+		v(1, 10, 0, 0),
+		{User: 1, Page: 11, Time: t0.Add(time.Minute)},
+	}, 0), t0.Add(time.Hour), 0)
+	if tg.Edges[[2]int64{10, 11}] != 1 {
+		t.Fatalf("fallback edge missing: %v", tg.Edges)
+	}
+}
+
+func TestReplayTopicFilter(t *testing.T) {
+	onTopic := map[int64]bool{10: true, 11: true}
+	visits := []Visit{
+		v(1, 10, 0, 0),
+		v(1, 99, 10, time.Minute), // off topic
+		v(1, 11, 99, 2*time.Minute),
+		v(2, 10, 0, time.Minute), // another community member
+		v(2, 55, 10, 2*time.Minute),
+	}
+	// Single user.
+	tg := Replay(visits, Filter{User: 1, Topic: func(p int64) bool { return onTopic[p] }}, 0, t0.Add(time.Hour), 0)
+	if len(tg.Nodes) != 2 {
+		t.Fatalf("nodes = %v", tg.Nodes)
+	}
+	if _, ok := tg.Weight[99]; ok {
+		t.Fatal("off-topic page leaked into replay")
+	}
+	// Whole community.
+	tg = Replay(visits, Filter{Topic: func(p int64) bool { return onTopic[p] }}, 0, t0.Add(time.Hour), 0)
+	if tg.Weight[10] <= tg.Weight[11] {
+		t.Fatal("community weight not accumulated across users")
+	}
+	// Since filter.
+	tg = Replay(visits, Filter{Since: t0.Add(90 * time.Second)}, 0, t0.Add(time.Hour), 0)
+	for _, n := range tg.Nodes {
+		if n == 10 && tg.LastVisit[10].Before(t0.Add(90*time.Second)) {
+			t.Fatal("Since filter leaked old visits")
+		}
+	}
+}
+
+func TestPopularUsesLinkStructure(t *testing.T) {
+	// Trail covers 1,2,3. The web graph has a popular page 100 linked from
+	// all trail pages (radius-1 neighbour), which HITS must surface.
+	g := graph.New()
+	for _, p := range []int64{1, 2, 3} {
+		g.AddEdge(p, 100)
+	}
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	tg := Build(Segment([]Visit{
+		v(1, 1, 0, 0), v(1, 2, 1, time.Minute), v(1, 3, 2, 2*time.Minute),
+	}, 0), t0.Add(time.Hour), 0)
+	top := Popular(tg, g, 2)
+	if len(top) == 0 || top[0] != 100 {
+		t.Fatalf("Popular = %v, want 100 first", top)
+	}
+}
+
+func TestPopularFallbackWithoutGraph(t *testing.T) {
+	g := graph.New() // trail pages unknown to the graph
+	tg := Build(Segment([]Visit{v(1, 7, 0, 0), v(1, 8, 7, time.Minute)}, 0), t0.Add(time.Hour), 0)
+	top := Popular(tg, g, 5)
+	if len(top) != 2 {
+		t.Fatalf("fallback Popular = %v", top)
+	}
+	if Popular(&TrailGraph{}, g, 3) != nil {
+		t.Fatal("Popular on empty trail not nil")
+	}
+}
+
+func TestTransitionsSorted(t *testing.T) {
+	tg := Build(Segment([]Visit{
+		v(1, 1, 0, 0), v(1, 2, 1, time.Second),
+		v(1, 1, 2, 2*time.Second), v(1, 2, 1, 3*time.Second),
+		v(1, 3, 2, 4*time.Second),
+	}, 0), t0.Add(time.Hour), 0)
+	trans := tg.Transitions()
+	if len(trans) == 0 {
+		t.Fatal("no transitions")
+	}
+	if trans[0] != [2]int64{1, 2} || tg.Edges[trans[0]] != 2 {
+		t.Fatalf("Transitions[0] = %v (count %d)", trans[0], tg.Edges[trans[0]])
+	}
+}
+
+func TestTop(t *testing.T) {
+	tg := Build(Segment([]Visit{v(1, 1, 0, 0), v(1, 2, 1, time.Second)}, 0), t0.Add(time.Hour), 0)
+	if got := tg.Top(1); len(got) != 1 {
+		t.Fatalf("Top(1) = %v", got)
+	}
+	if got := tg.Top(10); len(got) != 2 {
+		t.Fatalf("Top(10) = %v", got)
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	var visits []Visit
+	for i := 0; i < 20000; i++ {
+		visits = append(visits, Visit{
+			User: int64(i%50 + 1),
+			Page: int64(i % 2000),
+			Time: t0.Add(time.Duration(i) * 20 * time.Second),
+		})
+	}
+	topic := func(p int64) bool { return p%5 == 0 }
+	now := t0.Add(120 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Replay(visits, Filter{Topic: topic}, 0, now, 0)
+	}
+}

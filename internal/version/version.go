@@ -1,0 +1,248 @@
+// Package version implements the loosely-consistent versioning system the
+// Memex paper layers between its RDBMS metadata and its Berkeley-DB-style
+// term stores: a single producer (the crawler) publishes batches of derived
+// data; several consumers (the indexer and statistical analyzers) read
+// immutable snapshots without ever blocking the producer or each other.
+//
+// The model is epoch/watermark based:
+//
+//   - The producer opens a Batch, stages writes, and Publishes it. Publish
+//     atomically advances the store's watermark to the batch epoch.
+//   - Consumers Acquire a Snapshot pinned at the current watermark. A
+//     snapshot sees, for each key, the newest value whose epoch is <= the
+//     snapshot epoch — regardless of later publishes.
+//   - Releasing snapshots lets the garbage collector drop superseded
+//     versions older than the minimum pinned epoch.
+//
+// Consistency guarantee (verified by experiment E9): a snapshot never
+// observes a partially published batch, and two reads of the same key from
+// one snapshot always agree.
+package version
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is an in-memory multi-version key-value map with watermark
+// publication. The Memex demons keep derived statistics here; bulk data
+// lives in kvstore, keyed by epoch, with Store coordinating visibility.
+type Store struct {
+	mu        sync.RWMutex
+	versions  map[string][]entry // ascending by epoch
+	watermark uint64
+	nextEpoch uint64
+	pinned    map[uint64]int // epoch -> pin count
+	// gcDeleted counts versions reclaimed (stats for E9).
+	gcDeleted uint64
+}
+
+type entry struct {
+	epoch   uint64
+	value   []byte
+	deleted bool
+}
+
+// NewStore returns an empty versioned store at watermark 0.
+func NewStore() *Store {
+	return &Store{
+		versions:  make(map[string][]entry),
+		pinned:    make(map[uint64]int),
+		nextEpoch: 1,
+	}
+}
+
+// Batch stages writes for one epoch. Batches are created by the single
+// producer; creating a batch does not block consumers.
+type Batch struct {
+	s      *Store
+	epoch  uint64
+	writes map[string]entry
+	done   bool
+}
+
+// Begin opens a new batch at the next epoch. Only one producer may be
+// active; Begin enforces nothing about callers, matching the paper's
+// single-producer design, but concurrent batches are safe — they simply
+// publish in epoch order acquired here.
+func (s *Store) Begin() *Batch {
+	s.mu.Lock()
+	epoch := s.nextEpoch
+	s.nextEpoch++
+	s.mu.Unlock()
+	return &Batch{s: s, epoch: epoch, writes: make(map[string]entry)}
+}
+
+// Put stages key→value in the batch.
+func (b *Batch) Put(key string, value []byte) {
+	b.writes[key] = entry{epoch: b.epoch, value: value}
+}
+
+// Delete stages a tombstone for key.
+func (b *Batch) Delete(key string) {
+	b.writes[key] = entry{epoch: b.epoch, deleted: true}
+}
+
+// Len returns the number of staged writes.
+func (b *Batch) Len() int { return len(b.writes) }
+
+// Publish atomically installs the batch and advances the watermark.
+// After Publish returns, new snapshots observe every write in the batch.
+func (b *Batch) Publish() error {
+	if b.done {
+		return fmt.Errorf("version: batch already published")
+	}
+	b.done = true
+	s := b.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range b.writes {
+		vs := s.versions[k]
+		// Insert keeping epoch order (batches may publish out of order).
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch >= e.epoch })
+		vs = append(vs, entry{})
+		copy(vs[i+1:], vs[i:])
+		vs[i] = e
+		s.versions[k] = vs
+	}
+	if b.epoch > s.watermark {
+		s.watermark = b.epoch
+	}
+	return nil
+}
+
+// Abort discards the batch.
+func (b *Batch) Abort() { b.done = true; b.writes = nil }
+
+// Snapshot is a consistent read view pinned at one epoch.
+type Snapshot struct {
+	s        *Store
+	epoch    uint64
+	released bool
+}
+
+// Acquire pins a snapshot at the current watermark.
+func (s *Store) Acquire() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pinned[s.watermark]++
+	return &Snapshot{s: s, epoch: s.watermark}
+}
+
+// Epoch returns the snapshot's pinned epoch.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Get returns the newest value for key with epoch <= the snapshot epoch.
+func (sn *Snapshot) Get(key string) ([]byte, bool) {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.versions[key]
+	// Find last entry with epoch <= sn.epoch.
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch > sn.epoch })
+	if i == 0 {
+		return nil, false
+	}
+	e := vs[i-1]
+	if e.deleted {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// Keys returns all live keys visible in the snapshot, sorted.
+func (sn *Snapshot) Keys() []string {
+	s := sn.s
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for k, vs := range s.versions {
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch > sn.epoch })
+		if i > 0 && !vs[i-1].deleted {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Release unpins the snapshot, enabling GC of versions it was holding.
+func (sn *Snapshot) Release() {
+	if sn.released {
+		return
+	}
+	sn.released = true
+	s := sn.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := s.pinned[sn.epoch]; c > 1 {
+		s.pinned[sn.epoch] = c - 1
+	} else {
+		delete(s.pinned, sn.epoch)
+	}
+}
+
+// Watermark returns the current published epoch.
+func (s *Store) Watermark() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.watermark
+}
+
+// minPinned returns the lowest pinned epoch, or the watermark when no
+// snapshot is held. Caller holds mu.
+func (s *Store) minPinnedLocked() uint64 {
+	min := s.watermark
+	for e := range s.pinned {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// GC drops versions superseded before the minimum pinned epoch. For each
+// key, every version except the newest one with epoch <= min is deletable.
+// Returns the number of versions reclaimed.
+func (s *Store) GC() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min := s.minPinnedLocked()
+	reclaimed := 0
+	for k, vs := range s.versions {
+		// Index of newest entry with epoch <= min.
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch > min })
+		if i <= 1 {
+			// Nothing before the floor version.
+			if i == 1 && vs[0].deleted && len(vs) == 1 {
+				// Sole version is an old tombstone: drop the key entirely.
+				delete(s.versions, k)
+				reclaimed++
+			}
+			continue
+		}
+		keepFrom := i - 1
+		reclaimed += keepFrom
+		rest := append([]entry(nil), vs[keepFrom:]...)
+		if len(rest) == 1 && rest[0].deleted && rest[0].epoch <= min {
+			delete(s.versions, k)
+		} else {
+			s.versions[k] = rest
+		}
+	}
+	s.gcDeleted += uint64(reclaimed)
+	return reclaimed
+}
+
+// VersionCount reports the total number of stored versions (for E9 and GC
+// tests).
+func (s *Store) VersionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, vs := range s.versions {
+		n += len(vs)
+	}
+	return n
+}

@@ -1,0 +1,294 @@
+package version
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPublishVisibility(t *testing.T) {
+	s := NewStore()
+	snap0 := s.Acquire()
+	defer snap0.Release()
+
+	b := s.Begin()
+	b.Put("k", []byte("v1"))
+	if err := b.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	// Old snapshot must not see the new write.
+	if _, ok := snap0.Get("k"); ok {
+		t.Fatal("stale snapshot observed a later publish")
+	}
+	// New snapshot must.
+	snap1 := s.Acquire()
+	defer snap1.Release()
+	v, ok := snap1.Get("k")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("new snapshot: %q ok=%v", v, ok)
+	}
+}
+
+func TestUnpublishedInvisible(t *testing.T) {
+	s := NewStore()
+	b := s.Begin()
+	b.Put("k", []byte("v"))
+	snap := s.Acquire()
+	defer snap.Release()
+	if _, ok := snap.Get("k"); ok {
+		t.Fatal("snapshot observed unpublished batch")
+	}
+	b.Publish()
+	if _, ok := snap.Get("k"); ok {
+		t.Fatal("pinned snapshot observed publish after acquire")
+	}
+}
+
+func TestDoublePublishFails(t *testing.T) {
+	s := NewStore()
+	b := s.Begin()
+	b.Put("k", []byte("v"))
+	if err := b.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(); err == nil {
+		t.Fatal("double publish accepted")
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	s := NewStore()
+	b := s.Begin()
+	b.Put("k", []byte("v"))
+	b.Publish()
+
+	b2 := s.Begin()
+	b2.Delete("k")
+	b2.Publish()
+
+	snap := s.Acquire()
+	defer snap.Release()
+	if _, ok := snap.Get("k"); ok {
+		t.Fatal("deleted key visible")
+	}
+	if keys := snap.Keys(); len(keys) != 0 {
+		t.Fatalf("Keys = %v, want empty", keys)
+	}
+}
+
+func TestSnapshotRepeatableReads(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		b := s.Begin()
+		b.Put("k", []byte(fmt.Sprintf("v%d", i)))
+		b.Publish()
+	}
+	snap := s.Acquire()
+	defer snap.Release()
+	first, _ := snap.Get("k")
+	for i := 5; i < 10; i++ {
+		b := s.Begin()
+		b.Put("k", []byte(fmt.Sprintf("v%d", i)))
+		b.Publish()
+	}
+	second, _ := snap.Get("k")
+	if string(first) != string(second) {
+		t.Fatalf("snapshot read changed: %q then %q", first, second)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	s := NewStore()
+	b := s.Begin()
+	b.Put("k", []byte("v"))
+	b.Abort()
+	snap := s.Acquire()
+	defer snap.Release()
+	if _, ok := snap.Get("k"); ok {
+		t.Fatal("aborted batch visible")
+	}
+}
+
+func TestGCReclaimsSupersededVersions(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		b := s.Begin()
+		b.Put("k", []byte(fmt.Sprintf("v%d", i)))
+		b.Publish()
+	}
+	if got := s.VersionCount(); got != 10 {
+		t.Fatalf("VersionCount = %d, want 10", got)
+	}
+	n := s.GC()
+	if n != 9 {
+		t.Fatalf("GC reclaimed %d, want 9", n)
+	}
+	snap := s.Acquire()
+	defer snap.Release()
+	v, ok := snap.Get("k")
+	if !ok || string(v) != "v9" {
+		t.Fatalf("after GC: %q ok=%v", v, ok)
+	}
+}
+
+func TestGCRespectsPinnedSnapshots(t *testing.T) {
+	s := NewStore()
+	b := s.Begin()
+	b.Put("k", []byte("old"))
+	b.Publish()
+	snapOld := s.Acquire()
+
+	b2 := s.Begin()
+	b2.Put("k", []byte("new"))
+	b2.Publish()
+
+	s.GC()
+	v, ok := snapOld.Get("k")
+	if !ok || string(v) != "old" {
+		t.Fatalf("pinned snapshot lost its version: %q ok=%v", v, ok)
+	}
+	snapOld.Release()
+	s.GC()
+	if got := s.VersionCount(); got != 1 {
+		t.Fatalf("VersionCount after release+GC = %d, want 1", got)
+	}
+}
+
+func TestGCDropsTombstonedKeys(t *testing.T) {
+	s := NewStore()
+	b := s.Begin()
+	b.Put("k", []byte("v"))
+	b.Publish()
+	b2 := s.Begin()
+	b2.Delete("k")
+	b2.Publish()
+	s.GC()
+	if got := s.VersionCount(); got != 0 {
+		t.Fatalf("VersionCount = %d, want 0 (tombstone collected)", got)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	b := s.Begin()
+	b.Put("zebra", []byte("1"))
+	b.Put("apple", []byte("2"))
+	b.Put("mango", []byte("3"))
+	b.Publish()
+	snap := s.Acquire()
+	defer snap.Release()
+	keys := snap.Keys()
+	want := []string{"apple", "mango", "zebra"}
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestConcurrentProducerConsumers is the E9 consistency check in miniature:
+// one producer publishes batches where all values in batch i equal i; every
+// consumer snapshot must read a consistent batch (all keys agree).
+func TestConcurrentProducerConsumers(t *testing.T) {
+	s := NewStore()
+	const keys = 8
+	const rounds = 200
+
+	// Seed epoch 0 state.
+	b := s.Begin()
+	for k := 0; k < keys; k++ {
+		b.Put(fmt.Sprintf("key%d", k), []byte("0"))
+	}
+	b.Publish()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Acquire()
+				var first string
+				consistent := true
+				for k := 0; k < keys; k++ {
+					v, ok := snap.Get(fmt.Sprintf("key%d", k))
+					if !ok {
+						consistent = false
+						break
+					}
+					if k == 0 {
+						first = string(v)
+					} else if string(v) != first {
+						consistent = false
+						break
+					}
+				}
+				snap.Release()
+				if !consistent {
+					select {
+					case errCh <- fmt.Errorf("inconsistent snapshot observed"):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for r := 1; r <= rounds; r++ {
+		b := s.Begin()
+		val := []byte(fmt.Sprintf("%d", r))
+		for k := 0; k < keys; k++ {
+			b.Put(fmt.Sprintf("key%d", k), val)
+		}
+		b.Publish()
+		if r%50 == 0 {
+			s.GC()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func BenchmarkPublish(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < b.N; i++ {
+		batch := s.Begin()
+		batch.Put("k1", []byte("v"))
+		batch.Put("k2", []byte("v"))
+		batch.Publish()
+		if i%1024 == 0 {
+			s.GC()
+		}
+	}
+}
+
+func BenchmarkSnapshotGet(b *testing.B) {
+	s := NewStore()
+	batch := s.Begin()
+	for i := 0; i < 1000; i++ {
+		batch.Put(fmt.Sprintf("key%d", i), []byte("v"))
+	}
+	batch.Publish()
+	snap := s.Acquire()
+	defer snap.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Get(fmt.Sprintf("key%d", i%1000))
+	}
+}

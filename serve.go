@@ -1,0 +1,31 @@
+package memex
+
+import (
+	"net/http"
+
+	"memex/internal/client"
+	"memex/internal/server"
+)
+
+// Handler returns the HTTP API handler for an engine, mountable in any
+// http.Server (the paper's servlet container).
+func (m *Memex) Handler() http.Handler {
+	return server.New(m.Engine)
+}
+
+// Serve runs the HTTP API on addr until the server fails. It is a
+// convenience for cmd/memexd; production deployments mount Handler on
+// their own server for TLS/timeouts.
+func (m *Memex) Serve(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: m.Handler()}
+	return srv.ListenAndServe()
+}
+
+// Client is the typed HTTP client (the applet stand-in).
+type Client = client.Client
+
+// NewClient returns a client for a Memex server at base, e.g.
+// "http://localhost:8600".
+func NewClient(base string) *Client {
+	return client.New(base)
+}
