@@ -1,0 +1,14 @@
+// Module memex reproduces "Memex: A Browsing Assistant for Collaborative
+// Archiving and Mining of Surf Trails" (VLDB 2000) as a production-style
+// Go system. No external dependencies: everything is stdlib.
+//
+// The `go` directive below is load-bearing, not cosmetic: internal/server
+// registers method-qualified ServeMux patterns ("POST /api/user",
+// "GET /api/search", ...). Those patterns are only parsed as
+// method+path by the enhanced net/http ServeMux introduced in Go 1.22.
+// Under a pre-1.22 directive the whole string is treated as a literal
+// path, every route silently 404s, and all of the internal/client e2e
+// tests fail. Keep this at 1.22 or newer.
+module memex
+
+go 1.22

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+
+	"memex/internal/text"
+	"memex/internal/version"
+)
+
+// This file is the engine's bridge to the version store (§3): the fetch
+// path publishes each page's derived data (term counts, raw term vector)
+// as one atomic batch, and the analyzer-facing read paths (usage
+// breakdown, profiles, trail classification) consume them through pinned
+// snapshots. Demons therefore analyze a consistent archive-wide view —
+// every page's stats all-or-nothing, repeatable across the whole pass —
+// while ingest keeps publishing without ever blocking them.
+
+// tfKey/vecKey name a page's derived records in the version store.
+func tfKey(page int64) string  { return "tf/" + strconv.FormatInt(page, 10) }
+func vecKey(page int64) string { return "vec/" + strconv.FormatInt(page, 10) }
+
+// publishDerived stages and publishes one page's derived data as a single
+// batch (the producer side of the loosely-consistent versioning; consumers
+// see both records or neither). The deferred Abort is a no-op on success
+// but completes the epoch if staging panics — a leaked epoch would stall
+// the watermark forever under the contiguity rule.
+func (e *Engine) publishDerived(pageID int64, tf map[string]int, vec text.Vector) {
+	b := e.vs.BeginSized(2)
+	defer b.Abort()
+	b.Put(tfKey(pageID), encodeCounts(tf))
+	b.Put(vecKey(pageID), encodeVector(vec))
+	b.Publish()
+}
+
+// DerivedView is a consistent read view over the engine's published
+// derived data, pinned at one version-store epoch. Reads are lock-free
+// and repeatable for the lifetime of the view: a page fetched after the
+// view was pinned stays invisible to it (its TermCounts stay nil for the
+// whole pass), exactly like a page that was never fetched.
+//
+// Decoded records are memoized per view — a usage or replay pass reads
+// the same few pages many times — so a DerivedView is for a single
+// goroutine, like the passes that hold one.
+type DerivedView struct {
+	sn  *version.Snapshot
+	tf  map[int64]map[string]int
+	vec map[int64]text.Vector
+}
+
+// DerivedSnapshot pins the current derived-data epoch.
+func (e *Engine) DerivedSnapshot() *DerivedView {
+	return &DerivedView{
+		sn:  e.vs.Acquire(),
+		tf:  map[int64]map[string]int{},
+		vec: map[int64]text.Vector{},
+	}
+}
+
+// Epoch returns the pinned version-store epoch.
+func (v *DerivedView) Epoch() uint64 { return v.sn.Epoch() }
+
+// Release unpins the view, letting the version store compact past it.
+func (v *DerivedView) Release() { v.sn.Release() }
+
+// TermCounts returns the page's term counts as of the view's epoch (nil
+// when the page had no fetched text as of the pin).
+func (v *DerivedView) TermCounts(page int64) map[string]int {
+	if tf, ok := v.tf[page]; ok {
+		return tf
+	}
+	var tf map[string]int
+	if raw, ok := v.sn.Get(tfKey(page)); ok {
+		tf = decodeCounts(raw)
+	}
+	v.tf[page] = tf
+	return tf
+}
+
+// Vector returns the page's raw term vector as of the view's epoch.
+func (v *DerivedView) Vector(page int64) (text.Vector, bool) {
+	if vec, ok := v.vec[page]; ok {
+		return vec, len(vec.IDs) > 0
+	}
+	var vec text.Vector
+	if raw, ok := v.sn.Get(vecKey(page)); ok {
+		vec = decodeVector(raw)
+	}
+	v.vec[page] = vec
+	return vec, len(vec.IDs) > 0
+}
+
+// --- codecs ---
+//
+// Derived records are stored as compact binary blobs: uvarint-framed
+// strings for term counts, delta-coded ids plus raw float64 bits for
+// vectors. No reflection, no allocation beyond the result.
+
+// encodeCounts serializes term counts as uvarint(n) then per term
+// uvarint(len), bytes, uvarint(count).
+func encodeCounts(tf map[string]int) []byte {
+	size := binary.MaxVarintLen64
+	for term := range tf {
+		size += len(term) + 2*binary.MaxVarintLen64
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(tf)))
+	for term, n := range tf {
+		buf = binary.AppendUvarint(buf, uint64(len(term)))
+		buf = append(buf, term...)
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	return buf
+}
+
+// decodeCounts is the inverse of encodeCounts (nil on corrupt input).
+func decodeCounts(b []byte) map[string]int {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil
+	}
+	b = b[w:]
+	tf := make(map[string]int, n)
+	for i := uint64(0); i < n; i++ {
+		l, w := binary.Uvarint(b)
+		if w <= 0 || uint64(len(b)-w) < l {
+			return nil
+		}
+		term := string(b[w : w+int(l)])
+		b = b[w+int(l):]
+		c, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil
+		}
+		b = b[w:]
+		tf[term] = int(c)
+	}
+	return tf
+}
+
+// encodeVector serializes a sparse vector as uvarint(n) then delta-coded
+// uvarint ids (the ids are sorted ascending) followed by float64 weights.
+func encodeVector(v text.Vector) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(v.IDs)*(binary.MaxVarintLen32+8))
+	buf = binary.AppendUvarint(buf, uint64(len(v.IDs)))
+	prev := int32(0)
+	for _, id := range v.IDs {
+		buf = binary.AppendUvarint(buf, uint64(id-prev))
+		prev = id
+	}
+	for _, w := range v.Weights {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+	}
+	return buf
+}
+
+// decodeVector is the inverse of encodeVector (zero vector on corrupt
+// input).
+func decodeVector(b []byte) text.Vector {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return text.Vector{}
+	}
+	b = b[w:]
+	v := text.Vector{IDs: make([]int32, 0, n), Weights: make([]float64, 0, n)}
+	prev := int32(0)
+	for i := uint64(0); i < n; i++ {
+		d, w := binary.Uvarint(b)
+		if w <= 0 {
+			return text.Vector{}
+		}
+		b = b[w:]
+		prev += int32(d)
+		v.IDs = append(v.IDs, prev)
+	}
+	if uint64(len(b)) < 8*n {
+		return text.Vector{}
+	}
+	for i := uint64(0); i < n; i++ {
+		v.Weights = append(v.Weights, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return v
+}

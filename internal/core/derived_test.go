@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"memex/internal/events"
+	"memex/internal/text"
+)
+
+func TestCountsCodecRoundTrip(t *testing.T) {
+	cases := []map[string]int{
+		nil,
+		{},
+		{"a": 1},
+		{"term": 3, "другой": 7, "": 12, "long-term-with-dashes": 1 << 30},
+	}
+	for _, tf := range cases {
+		got := decodeCounts(encodeCounts(tf))
+		if len(tf) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("roundtrip(%v) = %v", tf, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, tf) {
+			t.Fatalf("roundtrip(%v) = %v", tf, got)
+		}
+	}
+	if decodeCounts([]byte{0xff}) != nil {
+		t.Fatal("corrupt counts decoded")
+	}
+	if decodeCounts([]byte{2, 200, 1}) != nil {
+		t.Fatal("truncated counts decoded")
+	}
+}
+
+func TestVectorCodecRoundTrip(t *testing.T) {
+	cases := []text.Vector{
+		{},
+		{IDs: []int32{0}, Weights: []float64{1.5}},
+		{IDs: []int32{2, 7, 7000, 1 << 28}, Weights: []float64{0.25, -3, math.Pi, 1e-9}},
+	}
+	for _, v := range cases {
+		got := decodeVector(encodeVector(v))
+		if len(got.IDs) != len(v.IDs) {
+			t.Fatalf("roundtrip len = %d, want %d", len(got.IDs), len(v.IDs))
+		}
+		for i := range v.IDs {
+			if got.IDs[i] != v.IDs[i] || got.Weights[i] != v.Weights[i] {
+				t.Fatalf("roundtrip(%v) = %v", v, got)
+			}
+		}
+	}
+	if got := decodeVector([]byte{1, 3}); len(got.IDs) != 0 {
+		t.Fatal("truncated vector decoded")
+	}
+}
+
+// TestDerivedViewConsistency: a pinned view must keep serving the state
+// it was acquired at — pages fetched afterwards are invisible to
+// snapshot-backed reads but reachable through fresh views.
+func TestDerivedViewConsistency(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	pages := c.LeafPages[c.Leaves()[0].ID]
+
+	p0 := c.Page(pages[0])
+	if err := e.RecordVisit(1, p0.URL, "", tBase, events.Community); err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	id0 := e.idByURL[p0.URL]
+	if tf := view.TermCounts(id0); len(tf) == 0 {
+		t.Fatal("view missing fetched page's term counts")
+	}
+	if _, ok := view.Vector(id0); !ok {
+		t.Fatal("view missing fetched page's vector")
+	}
+
+	// Fetch a second page after the view was pinned.
+	p1 := c.Page(pages[1])
+	if err := e.RecordVisit(1, p1.URL, "", tBase.Add(time.Minute), events.Community); err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+	id1 := e.idByURL[p1.URL]
+
+	// The pinned view must not see the later page — repeatable reads:
+	// a page fetched mid-pass stays invisible for the whole pass instead
+	// of flipping from unclassifiable to classifiable between two reads.
+	if _, ok := view.sn.Get(tfKey(id1)); ok {
+		t.Fatal("pinned view's snapshot observed a later publish")
+	}
+	if tf := view.TermCounts(id1); tf != nil {
+		t.Fatal("pinned view resolved a post-snapshot page")
+	}
+	if _, ok := view.Vector(id1); ok {
+		t.Fatal("pinned view resolved a post-snapshot vector")
+	}
+
+	fresh := e.DerivedSnapshot()
+	defer fresh.Release()
+	if _, ok := fresh.sn.Get(tfKey(id1)); !ok {
+		t.Fatal("fresh view missing the second page")
+	}
+	if fresh.Epoch() <= view.Epoch() {
+		t.Fatalf("epochs did not advance: %d then %d", view.Epoch(), fresh.Epoch())
+	}
+}
+
+// TestDerivedPublishMatchesLiveMaps: the snapshot-published term counts
+// and vectors must decode to exactly what the engine's live maps hold.
+func TestDerivedPublishMatchesLiveMaps(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	for i, pid := range c.LeafPages[c.Leaves()[0].ID][:5] {
+		p := c.Page(pid)
+		if err := e.RecordVisit(1, p.URL, "", tBase.Add(time.Duration(i)*time.Minute), events.Community); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	e.mu.RLock()
+	livePages := make([]int64, 0, len(e.pageTF))
+	for id := range e.pageTF {
+		livePages = append(livePages, id)
+	}
+	e.mu.RUnlock()
+	if len(livePages) == 0 {
+		t.Fatal("no fetched pages")
+	}
+	for _, id := range livePages {
+		e.mu.RLock()
+		liveTF := e.pageTF[id]
+		liveVec := e.pageVec[id]
+		e.mu.RUnlock()
+		if got := view.TermCounts(id); !reflect.DeepEqual(got, liveTF) {
+			t.Fatalf("page %d: snapshot tf diverges from live map", id)
+		}
+		gotVec, ok := view.Vector(id)
+		if !ok || !reflect.DeepEqual(gotVec.IDs, liveVec.IDs) {
+			t.Fatalf("page %d: snapshot vector diverges from live map", id)
+		}
+	}
+}
+
+// TestStatusReportsVersionStore: the engine surfaces version-store
+// health (watermark advancing with fetches, GC accounting) in Status.
+func TestStatusReportsVersionStore(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	for i, pid := range c.LeafPages[c.Leaves()[0].ID][:4] {
+		p := c.Page(pid)
+		if err := e.RecordVisit(1, p.URL, "", tBase.Add(time.Duration(i)*time.Minute), events.Community); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	st := e.Status()
+	if st.Version.Watermark == 0 {
+		t.Fatal("version watermark did not advance with fetches")
+	}
+	if st.Version.Entries == 0 {
+		t.Fatal("version store holds no derived entries")
+	}
+	e.vs.GC()
+	st = e.Status()
+	if st.Version.Layers != 1 {
+		t.Fatalf("Layers after GC = %d, want 1", st.Version.Layers)
+	}
+}
+
+// TestUsageAndProfileUnderLiveIngest drives the §1 read paths (usage
+// breakdown, profiles) while ingest keeps publishing from the analyzer
+// demons — the consumer side of E9 inside the real engine. It must never
+// race (run with -race) and the snapshot-backed reads must keep working
+// throughout.
+func TestUsageAndProfileUnderLiveIngest(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	leaves := c.Leaves()
+	warm := c.LeafPages[leaves[0].ID]
+	for i := 0; i < 6; i++ {
+		p := c.Page(warm[i])
+		if err := e.RecordVisit(1, p.URL, "", tBase.Add(time.Duration(i)*time.Minute), events.Community); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddBookmark(1, p.URL, "/topic-a", tBase.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		p := c.Page(c.LeafPages[leaves[1].ID][i])
+		if err := e.AddBookmark(1, p.URL, "/topic-b", tBase.Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	e.RetrainClassifiers()
+	e.RebuildThemes()
+
+	// Keep ingest busy in the background while querying.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		at := tBase.Add(2 * time.Hour)
+		n := 0
+		for _, leaf := range leaves {
+			for _, pid := range c.LeafPages[leaf.ID] {
+				e.RecordVisit(1, c.Page(pid).URL, "", at.Add(time.Duration(n)*time.Second), events.Community)
+				n++
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if slices := e.UsageBreakdown(1, time.Time{}); len(slices) == 0 {
+			t.Fatal("UsageBreakdown empty during ingest")
+		}
+		if p := e.Profile(1); p == nil {
+			t.Fatal("Profile nil during ingest")
+		}
+	}
+	<-done
+	e.DrainBackground()
+
+	slices := e.UsageBreakdown(1, time.Time{})
+	total := 0.0
+	for _, s := range slices {
+		total += s.Share
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("usage shares sum to %f", total)
+	}
+}

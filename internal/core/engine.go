@@ -58,6 +58,9 @@ type Config struct {
 	// TrainInterval retrains per-user classifiers periodically
 	// (0 = only on demand via RetrainClassifiers).
 	TrainInterval time.Duration
+	// VersionGCInterval compacts superseded version-store layers off the
+	// hot path (default 2s; negative disables the demon).
+	VersionGCInterval time.Duration
 	// Now injects a clock for tests (default time.Now).
 	Now func() time.Time
 }
@@ -130,6 +133,9 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
+	}
+	if cfg.VersionGCInterval == 0 {
+		cfg.VersionGCInterval = 2 * time.Second
 	}
 	kv, err := kvstore.Open(cfg.Dir, cfg.KV)
 	if err != nil {
@@ -298,6 +304,15 @@ func (e *Engine) startDemons() {
 			Tick:     func() { e.RetrainClassifiers() },
 		})
 	}
+	if e.cfg.VersionGCInterval > 0 {
+		// Compaction of superseded version-store layers runs as its own
+		// demon so neither the publish path nor snapshot readers pay it.
+		e.pool.Add(&demon.Periodic{
+			TaskName: "version-gc",
+			Interval: e.cfg.VersionGCInterval,
+			Tick:     func() { e.vs.GC() },
+		})
+	}
 	e.pool.Start()
 }
 
@@ -324,6 +339,9 @@ type Stats struct {
 	Themes        int
 	DiskBytes     int64
 	DemonRestarts map[string]int
+	// Version reports the derived-data version store: watermark, layer
+	// count, pinned snapshots, and cumulative GC work.
+	Version version.Stats
 }
 
 // Status reports engine state.
@@ -347,6 +365,7 @@ func (e *Engine) Status() Stats {
 		Themes:        themesN,
 		DiskBytes:     e.kv.DiskBytes(),
 		DemonRestarts: e.pool.Restarts(),
+		Version:       e.vs.StoreStats(),
 	}
 }
 

@@ -299,29 +299,33 @@ func (e *Engine) fetchAndIndex(pageID int64, url string) {
 	}
 	e.stats.PagesFetched.Add(1)
 	tf := text.TermCounts(content.Title + " " + content.Text)
-
-	// Producer side of the loosely-consistent versioning: term stats are
-	// staged and published as one batch (consumers see all or nothing).
-	batch := e.vs.Begin()
-	for term, n := range tf {
-		batch.Put(fmt.Sprintf("tf/%d/%s", pageID, term), []byte(fmt.Sprint(n)))
-	}
-	batch.Publish()
-
 	vec := text.VectorFromCounts(e.dict, tf)
-	e.corp.AddDoc(vec)
 
+	// Claim the page under the lock before any side effects: two workers
+	// can race here on the same URL, and only the winner may publish,
+	// count the doc in the corpus, or index it (a double AddDoc would
+	// permanently skew every DF/IDF weight).
 	e.mu.Lock()
-	already := false
-	if _, already = e.pageTF[pageID]; !already {
-		e.pageTF[pageID] = tf
-		e.pageVec[pageID] = vec
-		e.titleOf[pageID] = content.Title
-	}
-	e.mu.Unlock()
-	if already {
+	if _, already := e.pageTF[pageID]; already {
+		e.mu.Unlock()
 		return
 	}
+	e.pageTF[pageID] = tf
+	e.pageVec[pageID] = vec
+	e.titleOf[pageID] = content.Title
+	e.mu.Unlock()
+
+	// The corpus must count the doc before its vector becomes visible to
+	// snapshot readers, or a TFIDF pass could weight the page against DF
+	// stats that don't include it yet.
+	e.corp.AddDoc(vec)
+
+	// Producer side of the loosely-consistent versioning: the page's
+	// derived stats are staged and published as one batch (consumers see
+	// all or nothing), and the analyzer read paths (usage, profiles,
+	// trails) consume them through pinned snapshots.
+	e.publishDerived(pageID, tf, vec)
+
 	e.idx.AddCounts(pageID, tf)
 	e.stats.PagesIndexed.Add(1)
 	e.pages.Update(rdbms.Int(pageID), func(r rdbms.Row) rdbms.Row {

@@ -125,6 +125,12 @@ func (e *Engine) Trails(user int64, folder string, k int) TrailContext {
 	model := e.models[user]
 	e.mu.RUnlock()
 
+	// The whole replay classifies pages against one pinned snapshot of
+	// the derived term stats, so a concurrent fetch can't flip a page's
+	// topic mid-replay.
+	view := e.DerivedSnapshot()
+	defer view.Release()
+
 	topicFilter := func(page int64) bool {
 		if model == nil {
 			// Untrained: fall back to the user's explicit folder content.
@@ -137,9 +143,7 @@ func (e *Engine) Trails(user int64, folder string, k int) TrailContext {
 			of := t.FolderOfPage(page)
 			return of != nil && strings.HasPrefix(of.Path()+"/", folder+"/")
 		}
-		e.mu.RLock()
-		tf := e.pageTF[page]
-		e.mu.RUnlock()
+		tf := view.TermCounts(page)
 		if tf == nil {
 			return false
 		}
@@ -263,7 +267,17 @@ func (e *Engine) Profile(user int64) *profile.Profile {
 }
 
 // userDocs gathers TF-IDF vectors of the user's visited, fetched pages.
+// The vectors come from one pinned version-store snapshot, so the profile
+// is computed over a consistent view even while ingest publishes.
 func (e *Engine) userDocs(user int64) []themes.DocVec {
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	return e.userDocsInView(user, view)
+}
+
+// userDocsInView is userDocs against a caller-pinned view, letting one
+// snapshot serve several users' profile computations (Recommend).
+func (e *Engine) userDocsInView(user int64, view *DerivedView) []themes.DocVec {
 	pageSet := map[int64]bool{}
 	e.mu.RLock()
 	for page, by := range e.seenBy {
@@ -271,13 +285,13 @@ func (e *Engine) userDocs(user int64) []themes.DocVec {
 			pageSet[page] = true
 		}
 	}
+	e.mu.RUnlock()
 	var docs []themes.DocVec
 	for page := range pageSet {
-		if raw, ok := e.pageVec[page]; ok {
+		if raw, ok := view.Vector(page); ok {
 			docs = append(docs, themes.DocVec{ID: page, Vec: e.corp.TFIDF(raw)})
 		}
 	}
-	e.mu.RUnlock()
 	return docs
 }
 
@@ -295,10 +309,14 @@ func (e *Engine) Recommend(user int64, k int, byProfile bool) []PageInfo {
 		return nil
 	}
 
+	// All peers' profiles are built from the same pinned snapshot so the
+	// similarity comparison is apples-to-apples even under live ingest.
+	view := e.DerivedSnapshot()
+	defer view.Release()
 	profiles := map[int64]profile.Profile{}
 	visited := map[int64]map[int64]bool{}
 	for _, u := range users {
-		docs := e.userDocs(u)
+		docs := e.userDocsInView(u, view)
 		if len(docs) == 0 {
 			continue
 		}

