@@ -90,6 +90,19 @@ func TestEndToEndVisitSearch(t *testing.T) {
 	if st.Visits != int64(visited) {
 		t.Fatalf("Status.Visits = %d, want %d", st.Visits, visited)
 	}
+	// The version store's per-shard breakdown must survive the HTTP
+	// round trip: operators watch shard skew and chain depth from here.
+	if len(st.Version.Shards) == 0 {
+		t.Fatal("Status.Version.Shards empty over HTTP")
+	}
+	sum := 0
+	for _, sh := range st.Version.Shards {
+		sum += sh.Entries
+	}
+	if sum != st.Version.Entries || st.Version.Watermark == 0 {
+		t.Fatalf("per-shard stats inconsistent over HTTP: sum=%d entries=%d watermark=%d",
+			sum, st.Version.Entries, st.Version.Watermark)
+	}
 }
 
 func TestEndToEndBookmarkThemesRecommend(t *testing.T) {

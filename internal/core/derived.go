@@ -23,15 +23,30 @@ func vecKey(page int64) string { return "vec/" + strconv.FormatInt(page, 10) }
 
 // publishDerived stages and publishes one page's derived data as a single
 // batch (the producer side of the loosely-consistent versioning; consumers
-// see both records or neither). The deferred Abort is a no-op on success
-// but completes the epoch if staging panics — a leaked epoch would stall
-// the watermark forever under the contiguity rule.
+// see both records or neither — the version store's cross-shard atomic
+// commit covers both keys even when they hash to different shards). The
+// deferred Abort is a no-op on success but completes the epoch if staging
+// panics — a leaked epoch would stall the watermark forever under the
+// contiguity rule.
 func (e *Engine) publishDerived(pageID int64, tf map[string]int, vec text.Vector) {
 	b := e.vs.BeginSized(2)
 	defer b.Abort()
 	b.Put(tfKey(pageID), encodeCounts(tf))
 	b.Put(vecKey(pageID), encodeVector(vec))
 	b.Publish()
+}
+
+// derivedPublished reports whether the page's derived stats are visible
+// in the version store — the reader-facing "already fetched" check. It
+// is lock-free (one snapshot pin plus one shard-chain walk), so hot
+// paths use it instead of taking e.mu. A publish still below the
+// watermark can read as false; callers that go on to fetch must let the
+// claim set (e.fetched) arbitrate.
+func (e *Engine) derivedPublished(pageID int64) bool {
+	sn := e.vs.Acquire()
+	_, ok := sn.Get(tfKey(pageID))
+	sn.Release()
+	return ok
 }
 
 // DerivedView is a consistent read view over the engine's published

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -114,12 +117,17 @@ func TestDerivedViewConsistency(t *testing.T) {
 	}
 }
 
-// TestDerivedPublishMatchesLiveMaps: the snapshot-published term counts
-// and vectors must decode to exactly what the engine's live maps hold.
-func TestDerivedPublishMatchesLiveMaps(t *testing.T) {
+// TestDerivedPublishMatchesSource: the version store is the single home
+// of derived page data now, so the published records must decode to
+// exactly the term counts and vector the fetch path computes from the
+// source content. (Before the live pageTF/pageVec maps were retired this
+// compared against those; the source recomputation is the same oracle
+// without resurrecting a second copy.)
+func TestDerivedPublishMatchesSource(t *testing.T) {
 	c, e := testWorld(t)
 	e.RegisterUser(1, "alice")
-	for i, pid := range c.LeafPages[c.Leaves()[0].ID][:5] {
+	pages := c.LeafPages[c.Leaves()[0].ID][:5]
+	for i, pid := range pages {
 		p := c.Page(pid)
 		if err := e.RecordVisit(1, p.URL, "", tBase.Add(time.Duration(i)*time.Minute), events.Community); err != nil {
 			t.Fatal(err)
@@ -129,27 +137,30 @@ func TestDerivedPublishMatchesLiveMaps(t *testing.T) {
 
 	view := e.DerivedSnapshot()
 	defer view.Release()
-	e.mu.RLock()
-	livePages := make([]int64, 0, len(e.pageTF))
-	for id := range e.pageTF {
-		livePages = append(livePages, id)
-	}
-	e.mu.RUnlock()
-	if len(livePages) == 0 {
-		t.Fatal("no fetched pages")
-	}
-	for _, id := range livePages {
+	checked := 0
+	for _, pid := range pages {
+		p := c.Page(pid)
 		e.mu.RLock()
-		liveTF := e.pageTF[id]
-		liveVec := e.pageVec[id]
+		id, ok := e.idByURL[p.URL]
 		e.mu.RUnlock()
-		if got := view.TermCounts(id); !reflect.DeepEqual(got, liveTF) {
-			t.Fatalf("page %d: snapshot tf diverges from live map", id)
+		if !ok {
+			t.Fatalf("page %q never registered", p.URL)
 		}
+		wantTF := text.TermCounts(p.Title + " " + p.Text)
+		if got := view.TermCounts(id); !reflect.DeepEqual(got, wantTF) {
+			t.Fatalf("page %d: snapshot tf diverges from source content", id)
+		}
+		// The dict already holds every term from the fetch, so the same
+		// ids come back deterministically.
+		wantVec := text.VectorFromCounts(e.dict, wantTF)
 		gotVec, ok := view.Vector(id)
-		if !ok || !reflect.DeepEqual(gotVec.IDs, liveVec.IDs) {
-			t.Fatalf("page %d: snapshot vector diverges from live map", id)
+		if !ok || !reflect.DeepEqual(gotVec.IDs, wantVec.IDs) {
+			t.Fatalf("page %d: snapshot vector diverges from source content", id)
 		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no fetched pages")
 	}
 }
 
@@ -239,5 +250,152 @@ func TestUsageAndProfileUnderLiveIngest(t *testing.T) {
 	}
 	if total < 0.99 || total > 1.01 {
 		t.Fatalf("usage shares sum to %f", total)
+	}
+}
+
+// TestSnapshotConsistencyUnderLoad is the regression test for retiring
+// the live pageTF/pageVec maps: with the version store as the single
+// home of derived page data, theme rebuilds and profile computations run
+// concurrently with live ingest, and every pinned view must (a) never
+// observe a torn tf/vec pair — both records publish as one batch — and
+// (b) give repeatable reads for the lifetime of the view. Run with
+// -race (CI does).
+func TestSnapshotConsistencyUnderLoad(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	leaves := c.Leaves()
+
+	// Warm up two folders (classifier + theme input) and a few visits
+	// (profile visibility) so every analyzer pass has stable input before
+	// the concurrent phase begins.
+	for i := 0; i < 6; i++ {
+		p := c.Page(c.LeafPages[leaves[0].ID][i])
+		if err := e.AddBookmark(1, p.URL, "/topic-a", tBase.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RecordVisit(1, p.URL, "", tBase.Add(time.Duration(i)*time.Minute), events.Community); err != nil {
+			t.Fatal(err)
+		}
+		q := c.Page(c.LeafPages[leaves[1].ID][i])
+		if err := e.AddBookmark(1, q.URL, "/topic-b", tBase.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.DrainBackground()
+	e.RetrainClassifiers()
+	e.RebuildThemes()
+
+	// Register ids for every page we will ingest, so the checkers can
+	// probe pages before, during, and after their fetch publishes.
+	var ids []int64
+	var urls []string
+	for _, leaf := range leaves[:4] {
+		for _, pid := range c.LeafPages[leaf.ID] {
+			url := c.Page(pid).URL
+			id, err := e.ensurePage(url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+			urls = append(urls, url)
+		}
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+
+	// Live ingest: visit (and thereby fetch/publish) every page.
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		at := tBase.Add(2 * time.Hour)
+		for i, url := range urls {
+			e.RecordVisit(1, url, "", at.Add(time.Duration(i)*time.Second), events.Community)
+		}
+	}()
+
+	// Analyzer passes that rebuild themes and profiles mid-ingest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := e.RebuildThemes(); st.Themes == 0 {
+				report(fmt.Errorf("RebuildThemes lost all themes mid-ingest"))
+				return
+			}
+			if p := e.Profile(1); p == nil {
+				report(fmt.Errorf("Profile nil mid-ingest"))
+				return
+			}
+		}
+	}()
+
+	// Snapshot checkers: no torn tf/vec pairs, repeatable raw reads.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				view := e.DerivedSnapshot()
+				for _, id := range ids {
+					rawTF, okTF := view.sn.Get(tfKey(id))
+					_, okVec := view.sn.Get(vecKey(id))
+					if okTF != okVec {
+						report(fmt.Errorf("page %d: torn tf/vec pair at epoch %d (tf=%v vec=%v)",
+							id, view.Epoch(), okTF, okVec))
+					}
+					rawTF2, okTF2 := view.sn.Get(tfKey(id))
+					if okTF != okTF2 || !bytes.Equal(rawTF, rawTF2) {
+						report(fmt.Errorf("page %d: non-repeatable read within pinned view at epoch %d",
+							id, view.Epoch()))
+					}
+					// The decoded accessors must agree with the raw pair.
+					if (view.TermCounts(id) != nil) != okTF {
+						report(fmt.Errorf("page %d: TermCounts disagrees with snapshot at epoch %d", id, view.Epoch()))
+					}
+				}
+				view.Release()
+			}
+		}()
+	}
+
+	// Let the checkers overlap the whole ingest, then wind down.
+	<-ingestDone
+	e.DrainBackground()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// After quiescence every ingested page's derived pair is visible.
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	for _, id := range ids {
+		if view.TermCounts(id) == nil {
+			t.Fatalf("page %d: derived stats missing after ingest", id)
+		}
+		if _, ok := view.Vector(id); !ok {
+			t.Fatalf("page %d: vector missing after ingest", id)
+		}
 	}
 }

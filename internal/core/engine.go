@@ -5,6 +5,28 @@
 // demons), the event queue separates the guaranteed-immediate foreground
 // path from asynchronous analysis, and the demon pool keeps the background
 // mining running and restartable.
+//
+// # Derived page state lives only in the version store
+//
+// A page's derived data — term counts and raw term vector — has exactly
+// one home: the sharded epoch-layer store in internal/version, published
+// by the fetch path as one atomic batch per page. There is no live map
+// shadowing it. Every derived-data reader pins a DerivedView snapshot
+// for its whole pass and is therefore snapshot-consistent:
+//
+//   - theme rebuilds (RebuildThemes) and user profiles (Profile,
+//     Recommend) read vectors from one pinned epoch;
+//   - usage breakdown, trail replay, and classifier guesses read term
+//     counts the same way;
+//   - classifier retraining trains every user against a single epoch;
+//   - even ingest's own "already fetched?" fast path is a lock-free
+//     snapshot read, with the small e.fetched claim set (under e.mu)
+//     arbitrating publish races authoritatively.
+//
+// e.mu consequently guards page-metadata bookkeeping only — folder
+// trees, models, the taxonomy pointer, url/title/visibility maps, and
+// the claim set — and is never held across derived-data decoding,
+// clustering, or training work.
 package core
 
 import (
@@ -83,15 +105,23 @@ type Engine struct {
 	bookmarks *rdbms.Table
 	usersTbl  *rdbms.Table
 
+	// mu guards page-metadata bookkeeping only: folder trees, models, the
+	// taxonomy pointer, url/title maps, visibility sets, and the fetch
+	// claim set. Derived page data (term counts, vectors) lives solely in
+	// the version store and is read through pinned DerivedView snapshots,
+	// never under this lock.
 	mu      sync.RWMutex
 	trees   map[int64]*folders.Tree   // per-user folder space
 	models  map[int64]*classify.Bayes // per-user folder classifier
 	tax     *themes.Taxonomy
-	pageTF  map[int64]map[string]int // fetched term counts
-	pageVec map[int64]text.Vector    // normalized TF-IDF vectors
 	urlOf   map[int64]string
 	idByURL map[string]int64
 	titleOf map[int64]string
+	// fetched is the fetch path's claim set: the page's derived stats
+	// have been (or are being) published. It arbitrates the two-workers-
+	// one-URL race; readers asking "is this page fetched?" use the
+	// lock-free version-store check instead (derivedPublished).
+	fetched map[int64]bool
 	// visibility: users who visited each page; community flag.
 	seenBy    map[int64]map[int64]bool
 	community map[int64]bool
@@ -158,8 +188,7 @@ func Open(cfg Config) (*Engine, error) {
 		pool:      demon.NewPool(),
 		trees:     map[int64]*folders.Tree{},
 		models:    map[int64]*classify.Bayes{},
-		pageTF:    map[int64]map[string]int{},
-		pageVec:   map[int64]text.Vector{},
+		fetched:   map[int64]bool{},
 		urlOf:     map[int64]string{},
 		idByURL:   map[string]int64{},
 		titleOf:   map[int64]string{},

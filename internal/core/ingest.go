@@ -278,42 +278,66 @@ func (e *Engine) process(ev events.Event) {
 	if err != nil {
 		return
 	}
-	e.fetchAndIndex(pageID, ev.URL)
+	tf := e.fetchAndIndex(pageID, ev.URL)
 	if ev.Kind == events.VisitEvent {
-		e.classifyForUser(ev.User, pageID)
+		e.classifyForUser(ev.User, pageID, tf)
 	}
 }
 
-// fetchAndIndex resolves content once per page, indexes it, publishes term
-// stats through the version store, and records out-links.
-func (e *Engine) fetchAndIndex(pageID int64, url string) {
-	e.mu.RLock()
-	_, done := e.pageTF[pageID]
-	e.mu.RUnlock()
-	if done {
-		return
+// fetchAndIndex resolves content once per page, indexes it, publishes
+// term stats through the version store, and records out-links. It
+// returns the freshly computed term counts when this call performed the
+// fetch, nil otherwise (already fetched, or content unavailable). The
+// "already fetched" fast path is a lock-free version-store read — the
+// hot event loop never touches e.mu just to skip a done page.
+func (e *Engine) fetchAndIndex(pageID int64, url string) map[string]int {
+	if e.derivedPublished(pageID) {
+		return nil
 	}
+	return e.fetchAndIndexSlow(pageID, url)
+}
+
+// fetchAndIndexView is fetchAndIndex for a pass that already pinned a
+// DerivedView (Discover's crawl): the skip check reads the pass's own
+// snapshot, so one consistent epoch decides "already archived" for the
+// whole crawl. A page the pinned view misses may still have published
+// since the pin — recheck the current store before paying for tokenize
+// and vector work the claim set would only discard.
+func (e *Engine) fetchAndIndexView(pageID int64, url string, view *DerivedView) map[string]int {
+	if view.TermCounts(pageID) != nil {
+		return nil
+	}
+	if e.derivedPublished(pageID) {
+		return nil
+	}
+	return e.fetchAndIndexSlow(pageID, url)
+}
+
+// fetchAndIndexSlow is the publish half of the fetch path. Callers have
+// already decided the page looks unfetched; the claim set arbitrates
+// races authoritatively.
+func (e *Engine) fetchAndIndexSlow(pageID int64, url string) map[string]int {
 	content, ok := e.cfg.Source.Lookup(url)
 	if !ok {
-		return
+		return nil
 	}
-	e.stats.PagesFetched.Add(1)
 	tf := text.TermCounts(content.Title + " " + content.Text)
 	vec := text.VectorFromCounts(e.dict, tf)
 
-	// Claim the page under the lock before any side effects: two workers
-	// can race here on the same URL, and only the winner may publish,
-	// count the doc in the corpus, or index it (a double AddDoc would
-	// permanently skew every DF/IDF weight).
+	// Claim the page under the metadata lock before any side effects: two
+	// workers can race here on the same URL (and the snapshot fast path
+	// above can miss a publish still below the watermark), so only the
+	// claim winner may publish, count the doc in the corpus, or index it
+	// (a double AddDoc would permanently skew every DF/IDF weight).
 	e.mu.Lock()
-	if _, already := e.pageTF[pageID]; already {
+	if e.fetched[pageID] {
 		e.mu.Unlock()
-		return
+		return tf
 	}
-	e.pageTF[pageID] = tf
-	e.pageVec[pageID] = vec
+	e.fetched[pageID] = true
 	e.titleOf[pageID] = content.Title
 	e.mu.Unlock()
+	e.stats.PagesFetched.Add(1)
 
 	// The corpus must count the doc before its vector becomes visible to
 	// snapshot readers, or a TFIDF pass could weight the page against DF
@@ -322,8 +346,8 @@ func (e *Engine) fetchAndIndex(pageID int64, url string) {
 
 	// Producer side of the loosely-consistent versioning: the page's
 	// derived stats are staged and published as one batch (consumers see
-	// all or nothing), and the analyzer read paths (usage, profiles,
-	// trails) consume them through pinned snapshots.
+	// all or nothing), and every derived-data read path (usage, profiles,
+	// themes, trails, recommend) consumes them through pinned snapshots.
 	e.publishDerived(pageID, tf, vec)
 
 	e.idx.AddCounts(pageID, tf)
@@ -339,18 +363,29 @@ func (e *Engine) fetchAndIndex(pageID int64, url string) {
 			e.g.AddEdge(pageID, lid)
 		}
 	}
+	return tf
 }
 
 // classifyForUser places the page into the user's folder space as a guess
-// ('?' in the Figure 1 UI) when the user has a trained classifier.
-func (e *Engine) classifyForUser(user, pageID int64) {
+// ('?' in the Figure 1 UI) when the user has a trained classifier. tf is
+// the page's term counts when the caller just fetched it; for pages
+// fetched earlier the counts come from a pinned snapshot of the version
+// store.
+func (e *Engine) classifyForUser(user, pageID int64, tf map[string]int) {
 	e.mu.RLock()
 	model := e.models[user]
-	tf := e.pageTF[pageID]
 	url := e.urlOf[pageID]
 	title := e.titleOf[pageID]
 	e.mu.RUnlock()
-	if model == nil || tf == nil {
+	if model == nil {
+		return
+	}
+	if tf == nil {
+		view := e.DerivedSnapshot()
+		tf = view.TermCounts(pageID)
+		view.Release()
+	}
+	if tf == nil {
 		return
 	}
 	folder, conf := model.Classify(tf)
@@ -368,7 +403,9 @@ func (e *Engine) classifyForUser(user, pageID int64) {
 
 // RetrainClassifiers rebuilds each user's naive Bayes model from their
 // current (non-guessed) folder placements. Users need at least two folders
-// with content to get a model.
+// with content to get a model. One pinned snapshot supplies every training
+// example's term counts, so all users train against the same consistent
+// epoch no matter how much the fetch path publishes meanwhile.
 func (e *Engine) RetrainClassifiers() {
 	e.mu.RLock()
 	users := make([]int64, 0, len(e.trees))
@@ -377,32 +414,46 @@ func (e *Engine) RetrainClassifiers() {
 	}
 	e.mu.RUnlock()
 
+	view := e.DerivedSnapshot()
+	defer view.Release()
+
+	type example struct {
+		path string
+		page int64
+	}
 	for _, u := range users {
+		// Collect (folder, page) pairs under the metadata lock, then
+		// resolve term counts from the snapshot with no lock held.
+		var examples []example
 		e.mu.RLock()
 		tree := e.trees[u]
-		trainer := classify.NewTrainer(e.dict)
-		classes := 0
+		if tree == nil {
+			e.mu.RUnlock()
+			continue
+		}
 		tree.Walk(func(f *folders.Folder) {
 			if f.Parent == nil {
 				return
 			}
 			path := f.Path()
-			n := 0
 			for _, entry := range f.Entries {
 				if entry.Guessed {
 					continue
 				}
-				if tf := e.pageTF[entry.Page]; tf != nil {
-					trainer.AddCounts(path, tf)
-					n++
-				}
-			}
-			if n > 0 {
-				classes++
+				examples = append(examples, example{path, entry.Page})
 			}
 		})
 		e.mu.RUnlock()
-		if classes < 2 {
+
+		trainer := classify.NewTrainer(e.dict)
+		perClass := map[string]bool{}
+		for _, ex := range examples {
+			if tf := view.TermCounts(ex.page); tf != nil {
+				trainer.AddCounts(ex.path, tf)
+				perClass[ex.path] = true
+			}
+		}
+		if len(perClass) < 2 {
 			continue
 		}
 		model, err := trainer.Train(classify.Options{MaxFeatures: 4000})

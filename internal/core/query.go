@@ -51,16 +51,12 @@ func (e *Engine) Search(user int64, query string, k int) []PageInfo {
 // restricted to pages the user visited within [from, to). Zero bounds are
 // open-ended.
 func (e *Engine) SearchWhen(user int64, query string, k int, from, to time.Time) []PageInfo {
-	// Pages the user visited in the window.
+	// Pages the user visited in the window, via the visits table's user
+	// index with the time bound pushed down as a predicate — the scan
+	// touches only this user's rows, never the whole visits table, no
+	// matter how long the archive history grows.
 	window := map[int64]bool{}
-	e.visits.Select().Where(rdbms.Eq("user", rdbms.Int(user))).Each(func(r rdbms.Row) bool {
-		at := r.MustTime("time")
-		if !from.IsZero() && at.Before(from) {
-			return true
-		}
-		if !to.IsZero() && !at.Before(to) {
-			return true
-		}
+	windowQuery(e.visits, user, from, to).Each(func(r rdbms.Row) bool {
 		window[r.MustInt("page")] = true
 		return true
 	})
@@ -81,6 +77,28 @@ func (e *Engine) SearchWhen(user int64, query string, k int, from, to time.Time)
 		}
 	}
 	return out
+}
+
+// windowQuery builds the index-driven visits query for one user and a
+// half-open [from, to) time window (zero bounds open-ended). The user
+// equality index always drives — at the many-user scale the ROADMAP
+// targets, one user's history is far more selective than a time window
+// shared by every user — and the time bound is pushed down as a residual
+// predicate, so the scan touches only the user's index rows and never
+// falls back to a full table scan. (A compound (user, time) index would
+// bound it by the intersection; see ROADMAP.)
+func windowQuery(visits *rdbms.Table, user int64, from, to time.Time) *rdbms.Query {
+	q := visits.Select().Where(rdbms.Eq("user", rdbms.Int(user)))
+	switch {
+	case !from.IsZero() && !to.IsZero():
+		return q.Where(rdbms.Between("time", rdbms.Time(from), rdbms.Time(to)))
+	case !from.IsZero():
+		return q.Where(rdbms.Ge("time", rdbms.Time(from)))
+	case !to.IsZero():
+		return q.Where(rdbms.Lt("time", rdbms.Time(to)))
+	default:
+		return q
+	}
 }
 
 // visitRows loads visits as trail events, filtered to what `user` may see
@@ -155,62 +173,75 @@ func (e *Engine) Trails(user int64, folder string, k int) TrailContext {
 	tg := trails.Replay(visits, trails.Filter{Topic: topicFilter}, 0, e.cfg.Now(), 0)
 
 	ctx := TrailContext{Folder: folder, Edges: tg.Transitions()}
+	// Resolve graph ranking before touching metadata, then decorate both
+	// page lists under a single read lock — the per-element lock churn
+	// here used to cost one RLock/RUnlock round trip per popular page.
+	top := tg.Top(k)
+	popular := trails.Popular(tg, e.g, k)
 	e.mu.RLock()
-	for _, p := range tg.Top(k) {
+	for _, p := range top {
 		ctx.Pages = append(ctx.Pages, PageInfo{
 			ID: p, URL: e.urlOf[p], Title: e.titleOf[p], Score: tg.Weight[p],
 		})
 	}
-	e.mu.RUnlock()
-	for _, p := range trails.Popular(tg, e.g, k) {
-		e.mu.RLock()
-		info := PageInfo{ID: p, URL: e.urlOf[p], Title: e.titleOf[p]}
-		e.mu.RUnlock()
-		ctx.Popular = append(ctx.Popular, info)
+	for _, p := range popular {
+		ctx.Popular = append(ctx.Popular, PageInfo{ID: p, URL: e.urlOf[p], Title: e.titleOf[p]})
 	}
+	e.mu.RUnlock()
 	return ctx
-}
-
-// userFoldersLocked converts a user's folder tree into theme-discovery
-// input: one UserFolder per non-empty folder, with TF-IDF page vectors.
-// Caller holds e.mu (read).
-func (e *Engine) userFoldersLocked(user int64, tree *folders.Tree) []themes.UserFolder {
-	var out []themes.UserFolder
-	tree.Walk(func(f *folders.Folder) {
-		if f.Parent == nil || len(f.Entries) == 0 {
-			return
-		}
-		uf := themes.UserFolder{User: user, Path: f.Path()}
-		for _, entry := range f.Entries {
-			if entry.Guessed {
-				continue
-			}
-			raw, ok := e.pageVec[entry.Page]
-			if !ok {
-				continue
-			}
-			uf.Docs = append(uf.Docs, themes.DocVec{
-				ID:  entry.Page,
-				Vec: e.corp.TFIDF(raw),
-			})
-		}
-		if len(uf.Docs) > 0 {
-			out = append(out, uf)
-		}
-	})
-	return out
 }
 
 // RebuildThemes consolidates all users' folders into the community
 // taxonomy (Figure 4) and returns its statistics. Only pages with fetched
-// text contribute (the demons fetch bookmarked pages eagerly).
+// text contribute (the demons fetch bookmarked pages eagerly). The theme
+// inputs come from one pinned snapshot of the derived vectors, so the
+// whole clustering pass sees a consistent epoch; the metadata lock is
+// held only long enough to skeletonise the folder trees.
 func (e *Engine) RebuildThemes() themes.Stats {
+	view := e.DerivedSnapshot()
+	defer view.Release()
+
+	type folderSkel struct {
+		user  int64
+		path  string
+		pages []int64
+	}
+	var skels []folderSkel
 	e.mu.RLock()
-	var ufs []themes.UserFolder
 	for user, tree := range e.trees {
-		ufs = append(ufs, e.userFoldersLocked(user, tree)...)
+		tree.Walk(func(f *folders.Folder) {
+			if f.Parent == nil || len(f.Entries) == 0 {
+				return
+			}
+			sk := folderSkel{user: user, path: f.Path()}
+			for _, entry := range f.Entries {
+				if entry.Guessed {
+					continue
+				}
+				sk.pages = append(sk.pages, entry.Page)
+			}
+			if len(sk.pages) > 0 {
+				skels = append(skels, sk)
+			}
+		})
 	}
 	e.mu.RUnlock()
+
+	// TF-IDF weighting and clustering run with no lock held at all.
+	var ufs []themes.UserFolder
+	for _, sk := range skels {
+		uf := themes.UserFolder{User: sk.user, Path: sk.path}
+		for _, page := range sk.pages {
+			raw, ok := view.Vector(page)
+			if !ok {
+				continue
+			}
+			uf.Docs = append(uf.Docs, themes.DocVec{ID: page, Vec: e.corp.TFIDF(raw)})
+		}
+		if len(uf.Docs) > 0 {
+			ufs = append(ufs, uf)
+		}
+	}
 
 	tax := themes.Discover(ufs, e.dict, themes.Options{Seed: 1})
 	e.mu.Lock()
@@ -375,7 +406,13 @@ func (e *Engine) Discover(user int64, folder string, budget, k int) []PageInfo {
 		post := model.Posteriors(textTermCounts(content))
 		return post[ci]
 	}
-	fetcher := &engineFetcher{e: e}
+	// One pinned view covers the whole crawl: every "already archived"
+	// check the crawl's fetch path performs reads the same epoch, so a
+	// concurrent fetch demon can't flip a page's status mid-crawl. The
+	// crawl is single-goroutine, matching the view's contract.
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	fetcher := &engineFetcher{e: e, view: view}
 	res := crawler.Crawl(fetcher, rel, seeds, crawler.Options{
 		Budget: budget, Focused: true, Threshold: 0.5,
 	})
@@ -390,9 +427,12 @@ func (e *Engine) Discover(user int64, folder string, budget, k int) []PageInfo {
 }
 
 // engineFetcher adapts the engine's PageSource + page table to the
-// crawler's Fetcher interface, resolving link URLs to page ids as it goes.
+// crawler's Fetcher interface, resolving link URLs to page ids as it
+// goes. view is the crawl's pinned DerivedView; its snapshot answers the
+// fetch path's "already archived" checks for the whole crawl.
 type engineFetcher struct {
-	e *Engine
+	e    *Engine
+	view *DerivedView
 }
 
 // Fetch implements crawler.Fetcher. Crawled pages are indexed through the
@@ -410,7 +450,7 @@ func (f *engineFetcher) Fetch(page int64) (crawler.FetchResult, bool) {
 	if !ok {
 		return crawler.FetchResult{}, false
 	}
-	e.fetchAndIndex(page, url)
+	e.fetchAndIndexView(page, url, f.view)
 	links := make([]int64, 0, len(content.Links))
 	for _, l := range content.Links {
 		if id, err := e.ensurePage(l); err == nil {

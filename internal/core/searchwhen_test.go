@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"memex/internal/events"
+	"memex/internal/rdbms"
 )
 
 // TestSearchWhen covers the §1 recall question: finding a page by topic
@@ -60,5 +61,76 @@ func TestSearchWhen(t *testing.T) {
 	// Other users see nothing in this user's windows.
 	if got := e.SearchWhen(2, query, 10, time.Time{}, time.Time{}); len(got) != 0 {
 		t.Fatalf("wrong user got %v", got)
+	}
+}
+
+// TestWindowQueryPlans pins the access path behind time-scoped recall:
+// every window shape drives off the visits table's user index (one
+// user's history is far more selective than a time window shared across
+// all users) with the time bound pushed down as a predicate — never a
+// full table scan.
+func TestWindowQueryPlans(t *testing.T) {
+	_, e := testWorld(t)
+	from := tBase
+	to := tBase.Add(time.Hour)
+	cases := []struct {
+		name     string
+		from, to time.Time
+		want     string
+	}{
+		{"bounded", from, to, "user"},
+		{"from-only", from, time.Time{}, "user"},
+		{"to-only", time.Time{}, to, "user"},
+		{"unbounded", time.Time{}, time.Time{}, "user"},
+	}
+	for _, c := range cases {
+		plan := windowQuery(e.visits, 1, c.from, c.to).Explain()
+		if plan.Access != "index" || plan.Column != c.want {
+			t.Fatalf("%s: plan %+v, want index on %q", c.name, plan, c.want)
+		}
+	}
+}
+
+// TestWindowQueryRows: the index-driven window query returns exactly the
+// rows the old scan-and-filter did.
+func TestWindowQueryRows(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	pages := c.LeafPages[c.Leaves()[0].ID]
+	times := []time.Time{tBase, tBase.Add(time.Hour), tBase.Add(48 * time.Hour)}
+	for i, at := range times {
+		if err := e.RecordVisit(1, c.Page(pages[i]).URL, "", at, events.Community); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second user's visits must never leak into the window.
+	e.RegisterUser(2, "bob")
+	if err := e.RecordVisit(2, c.Page(pages[3]).URL, "", tBase.Add(time.Minute), events.Community); err != nil {
+		t.Fatal(err)
+	}
+	e.DrainBackground()
+
+	count := func(from, to time.Time) int {
+		n := 0
+		windowQuery(e.visits, 1, from, to).Each(func(r rdbms.Row) bool {
+			if r.MustInt("user") != 1 {
+				t.Fatalf("window leaked user %d", r.MustInt("user"))
+			}
+			n++
+			return true
+		})
+		return n
+	}
+	if got := count(time.Time{}, time.Time{}); got != 3 {
+		t.Fatalf("unbounded = %d, want 3", got)
+	}
+	if got := count(tBase.Add(30*time.Minute), tBase.Add(2*time.Hour)); got != 1 {
+		t.Fatalf("bounded = %d, want 1", got)
+	}
+	if got := count(tBase.Add(time.Minute), time.Time{}); got != 2 {
+		t.Fatalf("from-only = %d, want 2", got)
+	}
+	if got := count(time.Time{}, tBase.Add(time.Minute)); got != 1 {
+		t.Fatalf("to-only = %d, want 1", got)
 	}
 }

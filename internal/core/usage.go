@@ -33,12 +33,11 @@ func (e *Engine) UsageBreakdown(user int64, since time.Time) []UsageSlice {
 		at   time.Time
 	}
 	var visits []rec
-	e.visits.Select().Where(rdbms.Eq("user", rdbms.Int(user))).Each(func(r rdbms.Row) bool {
-		at := r.MustTime("time")
-		if !since.IsZero() && at.Before(since) {
-			return true
-		}
-		visits = append(visits, rec{r.MustInt("page"), at})
+	// The since bound is pushed into the query as a predicate (and the
+	// user index drives), instead of scanning the user's whole history
+	// and filtering here.
+	windowQuery(e.visits, user, since, time.Time{}).Each(func(r rdbms.Row) bool {
+		visits = append(visits, rec{r.MustInt("page"), r.MustTime("time")})
 		return true
 	})
 	if len(visits) == 0 {

@@ -4,52 +4,70 @@
 // data; several consumers (the indexer and statistical analyzers) read
 // immutable snapshots without ever blocking the producer or each other.
 //
-// # Architecture: copy-on-write epoch layers
+// # Architecture: sharded copy-on-write epoch layers
 //
-// The store's published history is an immutable linked chain of layers,
-// newest first, reachable from a single atomic.Pointer:
+// The store's published history is partitioned by key hash into N
+// independent shard chains. Each chain is an immutable linked list of
+// layers, newest first. All N chain heads live together in one immutable
+// state reachable from a single atomic.Pointer:
 //
-//	current ──> state{watermark, head} ──> layer(e=9) ──> layer(e=8) ──> …
+//	current ──> state{watermark, shards[0..N)} ──┬─> layer(e=9) ──> layer(e=7) ──> …   (shard 0)
+//	                                             └─> layer(e=8) ──> layer(e=5) ──> …   (shard 3)
 //
-// Each Publish freezes the batch's writes into one immutable layer, links
-// it into a copy of the chain spine (the maps are shared, never copied),
-// and installs the new state with one atomic store — O(batch) work,
-// independent of how much data the store holds. Because nothing reachable
-// from an installed state is ever mutated, readers need no locks at all:
+// Each Publish freezes the batch's writes into at most one immutable
+// layer per shard (keys are routed by hash at staging time), links them
+// into a copy of the shard-head array (the chains and their maps are
+// shared, never copied), and installs the new state with one atomic
+// store. Publish therefore stays a single atomic cross-shard commit —
+// O(batch + N) work, independent of how much data the store holds — and
+// a snapshot can never observe half of a batch's shards.
+//
+// Because nothing reachable from an installed state is ever mutated,
+// readers need no locks at all:
 //
 //   - Acquire is a single atomic load of the current state plus one atomic
-//     pin increment. The snapshot owns that state forever after.
-//   - Snapshot.Get walks the snapshot's own captured chain, skipping
-//     layers above its epoch, and returns the first hit. It never touches
-//     a store mutex, so reads scale linearly with reader count.
-//   - The producer-side mutex serialises Begin/Publish/Abort/GC against
-//     each other only; consumers never observe it.
+//     pin increment. The snapshot owns that state — every shard head —
+//     forever after.
+//   - Snapshot.Get hashes the key to its shard and walks that shard's
+//     captured chain, skipping layers above the snapshot epoch. It never
+//     touches a store mutex, so reads scale linearly with reader count,
+//     and sharding keeps each walk short: a chain only grows when its own
+//     shard is written.
+//   - The producer-side mutex serialises Begin/Publish/Abort and state
+//     installs against each other only; consumers never observe it.
 //
 // # Watermark contiguity
 //
 // Epochs are allocated by Begin and may complete out of order. The
-// watermark — the epoch new snapshots pin — only advances over
-// *contiguously* completed epochs (published or aborted). A higher epoch
-// that publishes while a lower one is still open is linked into the chain
-// but stays invisible (snapshots skip layers above their epoch) until the
-// gap closes. This closes the consistency hole where a late low-epoch
-// publish would otherwise insert entries below an already-pinned snapshot
-// epoch and mutate a live snapshot: here a pinned snapshot's chain is
-// frozen, and the watermark never ran ahead of the gap in the first place.
+// watermark — the epoch new snapshots pin — is store-wide and only
+// advances over *contiguously* completed epochs (published or aborted).
+// A higher epoch that publishes while a lower one is still open is linked
+// into its shards' chains but stays invisible (snapshots skip layers
+// above their epoch) until the gap closes. This closes the consistency
+// hole where a late low-epoch publish would otherwise insert entries
+// below an already-pinned snapshot epoch and mutate a live snapshot: a
+// pinned snapshot's chains are frozen, and the watermark never ran ahead
+// of the gap in the first place.
 //
-// # GC policy
+// # GC policy and shard parallelism
 //
-// GC (run off the hot path, e.g. by a periodic demon) compacts every
-// layer at or below the minimum pinned epoch into one base layer,
-// dropping superseded versions and dangling tombstones, then installs the
-// compacted chain atomically. Snapshots pinned on older states keep their
-// captured chains — compaction can never invalidate them — so GC is pure
-// compaction, never a data hazard. Memory for superseded states is
-// reclaimed by the Go runtime once the last pinning snapshot releases.
+// GC (run off the hot path, e.g. by a periodic demon) compacts each
+// shard's layers at or below the minimum pinned epoch into a tiered
+// bottom, dropping superseded versions and dangling tombstones. The
+// expensive part — merging layer maps — runs *outside* the store mutex,
+// one goroutine per shard, so compaction cost no longer serialises
+// behind one chain: GC wall-clock shrinks with shard count. Each shard's
+// merge then installs under the mutex by splicing the untouched spine
+// above the compaction floor onto the merged bottom; if another actor
+// (the Publish depth backstop) replaced that shard's sub-chain in the
+// meantime, the merge is simply abandoned — compaction is advisory, so
+// dropping a round is always safe. Snapshots pinned on older states keep
+// their captured chains — compaction can never invalidate them — so GC
+// is pure compaction, never a data hazard.
 //
 // Consistency guarantee (verified by experiment E9): a snapshot never
-// observes a partially published batch, and two reads of the same key
-// from one snapshot always agree.
+// observes a partially published batch — across shards too — and two
+// reads of the same key from one snapshot always agree.
 package version
 
 import (
@@ -66,9 +84,10 @@ type entry struct {
 	deleted bool
 }
 
-// layer is one published batch frozen as an immutable map. next points at
-// the next-older layer (strictly smaller epoch). Neither field is ever
-// written after the layer is linked into an installed state.
+// layer is one shard's slice of a published batch frozen as an immutable
+// map. next points at the next-older layer in the same shard (strictly
+// smaller epoch). Neither field is ever written after the layer is linked
+// into an installed state.
 type layer struct {
 	epoch   uint64
 	entries map[string]entry
@@ -78,27 +97,49 @@ type layer struct {
 	next  *layer
 }
 
-// state is one immutable published view of the store. pins counts the
-// snapshots currently holding it (used only as the GC compaction floor —
-// correctness of pinned reads never depends on it).
+// shard is one key-hash partition's chain inside a state: its head layer
+// and chain depth (maintained so Publish can trigger amortized
+// auto-compaction when reads would otherwise degrade).
+type shard struct {
+	head  *layer
+	depth int
+}
+
+// state is one immutable published view of the store: the watermark plus
+// every shard's chain head. pins counts the snapshots currently holding
+// it (used only as the GC compaction floor — correctness of pinned reads
+// never depends on it).
 type state struct {
 	watermark uint64
-	head      *layer
-	// depth is the chain length, maintained so Publish can trigger
-	// amortized auto-compaction when reads would otherwise degrade.
-	depth int
-	pins  atomic.Int64
+	shards    []shard
+	pins      atomic.Int64
+}
+
+// maxDepth returns the deepest shard chain (the worst-case read walk).
+func (st *state) maxDepth() int {
+	d := 0
+	for i := range st.shards {
+		if st.shards[i].depth > d {
+			d = st.shards[i].depth
+		}
+	}
+	return d
 }
 
 // Store is an in-memory multi-version key-value map with watermark
-// publication. The Memex demons keep derived statistics here; bulk data
-// lives in kvstore, keyed by epoch, with Store coordinating visibility.
+// publication, sharded by key hash. The Memex demons keep derived
+// statistics here; bulk data lives in kvstore, keyed by epoch, with
+// Store coordinating visibility.
 type Store struct {
 	current atomic.Pointer[state]
+	// mask is nshards-1 (shard count is a power of two), applied to the
+	// key hash. Immutable after NewStore.
+	mask uint32
 
-	// mu guards the producer/GC side only: epoch allocation, the
-	// completed-epoch set, and the pinned-state history. Snapshot reads
-	// never acquire it.
+	// mu guards the producer/install side only: epoch allocation, the
+	// completed-epoch set, the pinned-state history, and state installs.
+	// Snapshot reads never acquire it, and shard compaction holds it only
+	// for the final splice, not the merge.
 	mu        sync.Mutex
 	nextEpoch uint64
 	// completed holds published/aborted epochs above the watermark,
@@ -108,34 +149,75 @@ type Store struct {
 	// one). Publish appends; Publish and GC prune unpinned entries.
 	history     []*state
 	gcReclaimed uint64
-	// compactAt is the chain depth at which Publish triggers inline
-	// compaction — the backstop for stores whose owner never calls GC.
-	// Raised past the post-compaction depth so a long-pinned snapshot
-	// (which caps how much compaction can reclaim) cannot make every
-	// Publish retry a futile O(depth) merge.
+	// compactAt is the max shard-chain depth at which Publish triggers
+	// inline compaction of the offending shard — the backstop for stores
+	// whose owner never calls GC. Raised past the post-compaction depth
+	// so a long-pinned snapshot (which caps how much compaction can
+	// reclaim) cannot make every Publish retry a futile O(depth) merge.
 	compactAt int
+
+	// gcMu serialises compactions of the same shard against each other
+	// (different shards compact in parallel). Lock order: gcMu[i] before
+	// mu; the Publish backstop, which already holds mu, therefore never
+	// touches gcMu and relies on the splice-time conflict check instead.
+	gcMu []sync.Mutex
 }
+
+// DefaultShards is the shard count NewStore uses: enough for parallel
+// compaction and short chains without bloating tiny stores' states.
+const DefaultShards = 8
 
 // maxHistory bounds how many superseded states Publish tolerates before
 // pruning unpinned ones inline (GC prunes too; this is the backstop for
 // stores that publish heavily between GCs).
 const maxHistory = 1024
 
-// autoCompactDepth is the default chain depth that triggers inline
-// compaction during Publish.
+// autoCompactDepth is the default per-shard chain depth that triggers
+// inline compaction during Publish.
 const autoCompactDepth = 1024
 
-// NewStore returns an empty versioned store at watermark 0.
+// NewStore returns an empty versioned store at watermark 0 with
+// DefaultShards shards.
 func NewStore() *Store {
+	return NewStoreSharded(DefaultShards)
+}
+
+// NewStoreSharded returns an empty store partitioned into the given
+// number of shards (rounded up to a power of two; n <= 0 means
+// DefaultShards). More shards shorten chains and parallelise compaction;
+// a single shard reproduces the unsharded PR 1 layout exactly.
+func NewStoreSharded(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
 	s := &Store{
+		mask:      uint32(pow - 1),
 		nextEpoch: 1,
 		completed: make(map[uint64]bool),
 		compactAt: autoCompactDepth,
+		gcMu:      make([]sync.Mutex, pow),
 	}
-	st := &state{}
+	st := &state{shards: make([]shard, pow)}
 	s.current.Store(st)
 	s.history = append(s.history, st)
 	return s
+}
+
+// Shards returns the store's shard count.
+func (s *Store) Shards() int { return int(s.mask) + 1 }
+
+// shardOf routes a key to its shard (FNV-1a, masked). Inlined into the
+// read path, so it must stay allocation-free.
+func (s *Store) shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h & s.mask
 }
 
 type batchStage uint8
@@ -146,13 +228,18 @@ const (
 	batchAborted
 )
 
-// Batch stages writes for one epoch. Batches are created by the single
-// producer; creating a batch does not block consumers. A Batch is not
-// safe for concurrent use; distinct batches are.
+// Batch stages writes for one epoch, already routed to their shards.
+// Batches are created by the single producer; creating a batch does not
+// block consumers. A Batch is not safe for concurrent use; distinct
+// batches are.
 type Batch struct {
-	s      *Store
-	epoch  uint64
-	writes map[string]entry
+	s     *Store
+	epoch uint64
+	// writes[i] holds the staged entries bound for shard i (nil when the
+	// batch never touched that shard).
+	writes []map[string]entry
+	n      int
+	hint   int
 	stage  batchStage
 }
 
@@ -167,12 +254,13 @@ func (s *Store) Begin() *Batch {
 
 // BeginSized is Begin with a capacity hint for the number of staged
 // writes, sparing the producer incremental map growth on hot batches.
+// The hint is spread across the shards the batch actually touches.
 func (s *Store) BeginSized(hint int) *Batch {
 	s.mu.Lock()
 	epoch := s.nextEpoch
 	s.nextEpoch++
 	s.mu.Unlock()
-	return &Batch{s: s, epoch: epoch, writes: make(map[string]entry, hint)}
+	return &Batch{s: s, epoch: epoch, writes: make([]map[string]entry, s.mask+1), hint: hint}
 }
 
 // mustActive panics when the batch has already been published or aborted.
@@ -188,30 +276,52 @@ func (b *Batch) mustActive(op string) {
 	}
 }
 
+// stage records one write in its shard's staging map.
+func (b *Batch) put(key string, e entry) {
+	i := b.s.shardOf(key)
+	m := b.writes[i]
+	if m == nil {
+		// Size for the optimistic case that the whole hint lands in few
+		// shards; Go maps over-allocated this way just waste a bucket.
+		per := b.hint / (int(b.s.mask) + 1)
+		if per < 4 {
+			per = 4
+		}
+		m = make(map[string]entry, per)
+		b.writes[i] = m
+	}
+	if _, seen := m[key]; !seen {
+		b.n++
+	}
+	m[key] = e
+}
+
 // Put stages key→value in the batch. It panics if the batch was already
 // published or aborted.
 func (b *Batch) Put(key string, value []byte) {
 	b.mustActive("Put")
-	b.writes[key] = entry{value: value}
+	b.put(key, entry{value: value})
 }
 
 // Delete stages a tombstone for key. It panics if the batch was already
 // published or aborted.
 func (b *Batch) Delete(key string) {
 	b.mustActive("Delete")
-	b.writes[key] = entry{deleted: true}
+	b.put(key, entry{deleted: true})
 }
 
 // Len returns the number of staged writes.
-func (b *Batch) Len() int { return len(b.writes) }
+func (b *Batch) Len() int { return b.n }
 
 // Epoch returns the epoch this batch will publish at.
 func (b *Batch) Epoch() uint64 { return b.epoch }
 
-// Publish freezes the batch into an immutable layer, links it into the
-// chain, and — when every lower epoch has completed — atomically advances
-// the watermark so new snapshots observe it. Publish never blocks or
-// invalidates concurrent snapshot reads.
+// Publish freezes the batch into at most one immutable layer per touched
+// shard, links them into a copy of the shard-head array, and — when every
+// lower epoch has completed — atomically advances the watermark so new
+// snapshots observe it. The install is one atomic store, so the commit is
+// all-or-nothing across shards, and Publish never blocks or invalidates
+// concurrent snapshot reads.
 func (b *Batch) Publish() error {
 	switch b.stage {
 	case batchPublished:
@@ -221,31 +331,52 @@ func (b *Batch) Publish() error {
 	}
 	b.stage = batchPublished
 	writes := b.writes
-	b.writes = nil // the layer owns the map now; Put would panic anyway
+	b.writes = nil // the layers own the maps now; Put would panic anyway
+
+	// Freeze the per-shard layers outside the lock: the batch owns its
+	// staging maps, so this is safe, and it keeps the critical section at
+	// O(touched shards) pointer work.
+	layers := make([]*layer, len(writes))
+	touched := false
+	for i, m := range writes {
+		if len(m) == 0 {
+			continue
+		}
+		tombs := 0
+		for _, e := range m {
+			if e.deleted {
+				tombs++
+			}
+		}
+		layers[i] = &layer{epoch: b.epoch, entries: m, tombs: tombs}
+		touched = true
+	}
 
 	s := b.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.current.Load()
-	head, depth := cur.head, cur.depth
-	if len(writes) > 0 {
-		tombs := 0
-		for _, e := range writes {
-			if e.deleted {
-				tombs++
+	shards := cur.shards
+	if touched {
+		shards = make([]shard, len(cur.shards))
+		copy(shards, cur.shards)
+		for i, l := range layers {
+			if l == nil {
+				continue
 			}
+			shards[i].head = insertLayer(shards[i].head, l)
+			shards[i].depth++
 		}
-		head = insertLayer(head, &layer{epoch: b.epoch, entries: writes, tombs: tombs})
-		depth++
 	}
 	s.completed[b.epoch] = true
-	s.installLocked(head, depth, cur.watermark)
-	// Amortized backstop for stores whose owner never calls GC: once the
-	// chain is deep enough to hurt reads, compact inline and move the
-	// trigger past whatever depth pinned snapshots forced us to keep.
-	if depth >= s.compactAt {
-		s.compactLocked()
-		s.compactAt = s.current.Load().depth + autoCompactDepth
+	s.installLocked(shards, cur.watermark)
+	// Amortized backstop for stores whose owner never calls GC: once some
+	// shard's chain is deep enough to hurt reads, compact that shard
+	// inline and move the trigger past whatever depth pinned snapshots
+	// forced us to keep.
+	if d := s.current.Load().maxDepth(); d >= s.compactAt {
+		s.compactAllLocked()
+		s.compactAt = s.current.Load().maxDepth() + autoCompactDepth
 	}
 	return nil
 }
@@ -264,12 +395,13 @@ func (b *Batch) Abort() {
 	defer s.mu.Unlock()
 	cur := s.current.Load()
 	s.completed[b.epoch] = true
-	s.installLocked(cur.head, cur.depth, cur.watermark)
+	s.installLocked(cur.shards, cur.watermark)
 }
 
 // installLocked advances the watermark over contiguously completed epochs
-// and installs a new state when anything changed. Caller holds mu.
-func (s *Store) installLocked(head *layer, depth int, watermark uint64) {
+// and installs a new state when anything changed. shards may be the
+// current state's own slice (meaning "unchanged"). Caller holds mu.
+func (s *Store) installLocked(shards []shard, watermark uint64) {
 	advanced := false
 	for s.completed[watermark+1] {
 		delete(s.completed, watermark+1)
@@ -277,10 +409,10 @@ func (s *Store) installLocked(head *layer, depth int, watermark uint64) {
 		advanced = true
 	}
 	cur := s.current.Load()
-	if !advanced && head == cur.head {
+	if !advanced && &shards[0] == &cur.shards[0] {
 		return
 	}
-	next := &state{watermark: watermark, head: head, depth: depth}
+	next := &state{watermark: watermark, shards: shards}
 	s.current.Store(next)
 	s.history = append(s.history, next)
 	if len(s.history) > maxHistory {
@@ -306,7 +438,7 @@ func (s *Store) pruneHistoryLocked(cur *state) {
 // insertLayer links l into the newest-first chain, path-copying only the
 // spine nodes above it (their entry maps are shared). In the common
 // in-order case l becomes the new head in O(1); an out-of-order publish
-// copies one node per already-published higher epoch.
+// copies one node per already-published higher epoch in l's shard.
 func insertLayer(head *layer, l *layer) *layer {
 	if head == nil || l.epoch > head.epoch {
 		l.next = head
@@ -327,19 +459,22 @@ func insertLayer(head *layer, l *layer) *layer {
 }
 
 // Snapshot is a consistent read view pinned at one epoch. Get and Keys
-// are lock-free: they walk the snapshot's own captured layer chain, which
-// no publish or GC ever mutates.
+// are lock-free: they walk the snapshot's own captured shard chains,
+// which no publish or GC ever mutates.
 type Snapshot struct {
+	s     *Store
 	st    *state
 	epoch uint64
 }
 
 // Acquire pins a snapshot at the current watermark: one atomic load plus
-// one atomic pin increment, never a lock.
+// one atomic pin increment, never a lock. The captured state holds every
+// shard's chain head, so the view is cross-shard consistent by
+// construction.
 func (s *Store) Acquire() *Snapshot {
 	st := s.current.Load()
 	st.pins.Add(1)
-	return &Snapshot{st: st, epoch: st.watermark}
+	return &Snapshot{s: s, st: st, epoch: st.watermark}
 }
 
 // Epoch returns the snapshot's pinned epoch (valid even after Release).
@@ -357,10 +492,11 @@ func (sn *Snapshot) view(op string) *state {
 }
 
 // Get returns the newest value for key with epoch <= the snapshot epoch.
-// It panics if the snapshot was released.
+// It hashes the key to its shard and walks only that chain. It panics if
+// the snapshot was released.
 func (sn *Snapshot) Get(key string) ([]byte, bool) {
 	st := sn.view("Get")
-	for l := st.head; l != nil; l = l.next {
+	for l := st.shards[sn.s.shardOf(key)].head; l != nil; l = l.next {
 		if l.epoch > st.watermark {
 			continue
 		}
@@ -374,23 +510,25 @@ func (sn *Snapshot) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Keys returns all live keys visible in the snapshot, sorted. It panics
-// if the snapshot was released.
+// Keys returns all live keys visible in the snapshot, sorted, across all
+// shards. It panics if the snapshot was released.
 func (sn *Snapshot) Keys() []string {
 	st := sn.view("Keys")
 	seen := make(map[string]bool)
 	var keys []string
-	for l := st.head; l != nil; l = l.next {
-		if l.epoch > st.watermark {
-			continue
-		}
-		for k, e := range l.entries {
-			if seen[k] {
+	for i := range st.shards {
+		for l := st.shards[i].head; l != nil; l = l.next {
+			if l.epoch > st.watermark {
 				continue
 			}
-			seen[k] = true
-			if !e.deleted {
-				keys = append(keys, k)
+			for k, e := range l.entries {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if !e.deleted {
+					keys = append(keys, k)
+				}
 			}
 		}
 	}
@@ -414,28 +552,9 @@ func (s *Store) Watermark() uint64 {
 	return s.current.Load().watermark
 }
 
-// GC compacts layers at or below the minimum pinned epoch, dropping
-// superseded versions and tombstones with nothing left to shadow. It
-// runs entirely off the read path: snapshots keep their captured chains,
-// and the compacted chain is installed with one atomic store. Returns
-// the number of versions reclaimed.
-func (s *Store) GC() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.compactLocked()
-}
-
-// compactLocked is the compaction body, shared by GC and the Publish
-// depth backstop. Caller holds mu.
-//
-// Compaction is tiered so a periodic GC tick costs O(data published
-// since the last tick), not O(store): every non-base layer at or below
-// the pin floor first merges into one mid layer; the mid layer folds
-// into the (potentially huge) base only when that pays — it shadows or
-// deletes base keys, or has grown to a fair fraction of the base.
-// Until a fold, the base map is shared untouched across compactions.
-func (s *Store) compactLocked() int {
-	cur := s.current.Load()
+// pinFloorLocked computes the compaction floor: the minimum epoch any
+// pinned snapshot may still be reading. Caller holds mu.
+func (s *Store) pinFloorLocked(cur *state) uint64 {
 	s.pruneHistoryLocked(cur)
 	floor := cur.watermark
 	for _, st := range s.history {
@@ -443,16 +562,127 @@ func (s *Store) compactLocked() int {
 			floor = st.watermark
 		}
 	}
+	return floor
+}
 
-	// Split the chain at the floor: the spine above stays untouched.
-	var above []*layer
-	mergeHead := cur.head
-	for mergeHead != nil && mergeHead.epoch > floor {
-		above = append(above, mergeHead)
-		mergeHead = mergeHead.next
+// GC compacts every shard's layers at or below the minimum pinned epoch,
+// dropping superseded versions and tombstones with nothing left to
+// shadow. The merge work runs one goroutine per shard, entirely off the
+// read path and outside the store mutex, so shards compact in parallel
+// and only each result's O(spine) splice serialises. Returns the total
+// number of versions reclaimed.
+func (s *Store) GC() int {
+	n := s.Shards()
+	if n == 1 {
+		return s.GCShard(0)
 	}
-	if mergeHead == nil {
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total.Add(int64(s.GCShard(i)))
+		}(i)
+	}
+	wg.Wait()
+	return int(total.Load())
+}
+
+// GCShard compacts a single shard (see GC). Concurrent GCShard calls on
+// the same shard serialise; different shards proceed in parallel.
+func (s *Store) GCShard(i int) int {
+	if i < 0 || i > int(s.mask) {
 		return 0
+	}
+	s.gcMu[i].Lock()
+	defer s.gcMu[i].Unlock()
+
+	s.mu.Lock()
+	cur := s.current.Load()
+	floor := s.pinFloorLocked(cur)
+	s.mu.Unlock()
+
+	// The expensive merge runs lock-free against the captured chain: the
+	// sub-chain at or below the floor is immutable and — because epochs
+	// above the watermark are the only ones still publishing and the
+	// floor never exceeds the watermark — no new layer at or below the
+	// floor can appear while we merge. Only the same shard's backstop
+	// compaction could replace it, which the splice detects below.
+	mergeHead := splitAt(cur.shards[i].head, floor)
+	bottom, _, reclaimed, changed := compactChain(mergeHead)
+	if !changed {
+		return 0
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur2 := s.current.Load()
+	if splitAt(cur2.shards[i].head, floor) != mergeHead {
+		// The Publish backstop compacted this shard while we merged.
+		// Compaction is advisory: abandon this round, the next tick
+		// starts from the new chain.
+		return 0
+	}
+	shards := make([]shard, len(cur2.shards))
+	copy(shards, cur2.shards)
+	head, spine := spliceAbove(cur2.shards[i].head, mergeHead, bottom)
+	shards[i] = shard{head: head, depth: spine + chainLen(bottom)}
+	next := &state{watermark: cur2.watermark, shards: shards}
+	s.current.Store(next)
+	s.history = append(s.history, next)
+	s.gcReclaimed += uint64(reclaimed)
+	return reclaimed
+}
+
+// splitAt returns the first layer of the chain with epoch <= floor (the
+// immutable merge region), or nil.
+func splitAt(head *layer, floor uint64) *layer {
+	for head != nil && head.epoch > floor {
+		head = head.next
+	}
+	return head
+}
+
+// spliceAbove rebuilds the spine of layers strictly above oldBottom
+// (path-copied, maps shared) on top of newBottom, returning the new head
+// and the spine length. Layers above the compaction floor are only ever
+// prepended, so the spine is exactly the chain's prefix before oldBottom.
+func spliceAbove(head, oldBottom, newBottom *layer) (*layer, int) {
+	var above []*layer
+	for cur := head; cur != oldBottom; cur = cur.next {
+		above = append(above, cur)
+	}
+	newHead := newBottom
+	for i := len(above) - 1; i >= 0; i-- {
+		newHead = &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs, next: newHead}
+	}
+	return newHead, len(above)
+}
+
+func chainLen(l *layer) int {
+	n := 0
+	for ; l != nil; l = l.next {
+		n++
+	}
+	return n
+}
+
+// compactChain merges one shard's sub-chain (everything from mergeHead
+// down) into a tiered bottom. It only reads the immutable chain — safe
+// to run without any lock — and returns the replacement bottom chain,
+// its entry count, the number of versions reclaimed, and whether
+// anything changed.
+//
+// Compaction is tiered so a periodic GC tick costs O(data published
+// since the last tick), not O(store): every non-base layer first merges
+// into one mid layer; the mid layer folds into the (potentially huge)
+// base only when that pays — it shadows or deletes base keys, or has
+// grown to a fair fraction of the base. Until a fold, the base map is
+// shared untouched across compactions.
+func compactChain(mergeHead *layer) (bottom *layer, post, reclaimed int, changed bool) {
+	if mergeHead == nil {
+		return nil, 0, 0, false
 	}
 	var uppers []*layer
 	base := mergeHead
@@ -461,7 +691,7 @@ func (s *Store) compactLocked() int {
 		base = base.next
 	}
 	if len(uppers) == 0 && base.tombs == 0 {
-		return 0 // single tombstone-free base: nothing to do
+		return mergeHead, len(base.entries), 0, false // single tombstone-free base
 	}
 	pre := len(base.entries)
 	for _, l := range uppers {
@@ -507,12 +737,6 @@ func (s *Store) compactLocked() int {
 		}
 	}
 
-	// Assemble the new bottom of the chain. Shared layers (the base, or
-	// a single upper already in place) are never written — only freshly
-	// built layers get linked.
-	var newHead *layer
-	post := 0
-	depth := len(above)
 	if fold {
 		merged := make(map[string]entry, len(base.entries)+8)
 		for k, e := range base.entries {
@@ -531,48 +755,79 @@ func (s *Store) compactLocked() int {
 				delete(merged, k)
 			}
 		}
-		if len(merged) > 0 {
-			newHead = &layer{epoch: epoch, entries: merged}
-			post = len(merged)
-			depth++
+		if len(merged) == 0 {
+			return nil, 0, pre, true
 		}
-	} else {
-		if len(uppers) == 1 {
-			return 0 // chain already has the [single-upper, base] shape
-		}
-		mid.next = base // mid is freshly built above; base is shared, untouched
-		newHead = mid
-		post = len(mid.entries) + len(base.entries)
-		depth += 2
+		return &layer{epoch: epoch, entries: merged}, len(merged), pre - len(merged), true
 	}
-	for i := len(above) - 1; i >= 0; i-- {
-		newHead = &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs, next: newHead}
+	if len(uppers) == 1 {
+		return mergeHead, pre, 0, false // already in [single-upper, base] shape
 	}
-	reclaimed := pre - post
-	next := &state{watermark: cur.watermark, head: newHead, depth: depth}
-	s.current.Store(next)
-	s.history = append(s.history, next)
-	s.gcReclaimed += uint64(reclaimed)
-	return reclaimed
+	// mid is freshly built above; base is shared, untouched.
+	mid.next = base
+	return mid, len(mid.entries) + len(base.entries), pre - (len(mid.entries) + len(base.entries)), true
 }
 
-// VersionCount reports the total number of stored versions across the
-// current chain (for E9 and GC tests). Lock-free.
+// compactAllLocked compacts every shard inline under mu — the Publish
+// depth backstop. It cannot run the parallel path (that path takes gcMu
+// then mu; we already hold mu), so it pays the serial cost, which is
+// acceptable for a rare amortized backstop.
+func (s *Store) compactAllLocked() {
+	cur := s.current.Load()
+	floor := s.pinFloorLocked(cur)
+	shards := make([]shard, len(cur.shards))
+	copy(shards, cur.shards)
+	total := 0
+	dirty := false
+	for i := range shards {
+		mergeHead := splitAt(shards[i].head, floor)
+		bottom, _, reclaimed, changed := compactChain(mergeHead)
+		if !changed {
+			continue
+		}
+		head, spine := spliceAbove(shards[i].head, mergeHead, bottom)
+		shards[i] = shard{head: head, depth: spine + chainLen(bottom)}
+		total += reclaimed
+		dirty = true
+	}
+	if !dirty {
+		return
+	}
+	next := &state{watermark: cur.watermark, shards: shards}
+	s.current.Store(next)
+	s.history = append(s.history, next)
+	s.gcReclaimed += uint64(total)
+}
+
+// VersionCount reports the total number of stored versions across every
+// shard of the current state (for E9 and GC tests). Lock-free.
 func (s *Store) VersionCount() int {
+	st := s.current.Load()
 	n := 0
-	for l := s.current.Load().head; l != nil; l = l.next {
-		n += len(l.entries)
+	for i := range st.shards {
+		for l := st.shards[i].head; l != nil; l = l.next {
+			n += len(l.entries)
+		}
 	}
 	return n
+}
+
+// ShardStats summarises one shard's chain.
+type ShardStats struct {
+	// Layers is the shard's chain length (publishes touching it since
+	// its last compaction).
+	Layers int
+	// Entries is the shard's total version count.
+	Entries int
 }
 
 // Stats is a point-in-time summary of the store's shape.
 type Stats struct {
 	// Watermark is the highest contiguously published epoch.
 	Watermark uint64
-	// Layers is the current chain length (publishes since compaction).
+	// Layers is the deepest shard chain — the worst-case read walk.
 	Layers int
-	// Entries is the total version count across the chain.
+	// Entries is the total version count across all shards.
 	Entries int
 	// Pinned is the number of snapshots currently holding a state.
 	Pinned int
@@ -581,6 +836,8 @@ type Stats struct {
 	PendingEpochs int
 	// GCReclaimed is the cumulative number of versions compacted away.
 	GCReclaimed uint64
+	// Shards is the per-shard breakdown (length = shard count).
+	Shards []ShardStats
 }
 
 // StoreStats returns current store statistics.
@@ -592,10 +849,18 @@ func (s *Store) StoreStats() Stats {
 		Watermark:     cur.watermark,
 		PendingEpochs: len(s.completed),
 		GCReclaimed:   s.gcReclaimed,
+		Shards:        make([]ShardStats, len(cur.shards)),
 	}
-	for l := cur.head; l != nil; l = l.next {
-		st.Layers++
-		st.Entries += len(l.entries)
+	for i := range cur.shards {
+		sh := &st.Shards[i]
+		for l := cur.shards[i].head; l != nil; l = l.next {
+			sh.Layers++
+			sh.Entries += len(l.entries)
+		}
+		st.Entries += sh.Entries
+		if sh.Layers > st.Layers {
+			st.Layers = sh.Layers
+		}
 	}
 	for _, h := range s.history {
 		st.Pinned += int(h.pins.Load())

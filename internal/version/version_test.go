@@ -590,3 +590,292 @@ func BenchmarkSnapshotGet(b *testing.B) {
 		snap.Get(fmt.Sprintf("key%d", i%1000))
 	}
 }
+
+// --- sharding ---
+
+// TestShardedRounding: shard counts round up to a power of two; zero and
+// negative mean the default.
+func TestShardedRounding(t *testing.T) {
+	cases := map[int]int{-1: DefaultShards, 0: DefaultShards, 1: 1, 2: 2, 3: 4, 8: 8, 9: 16}
+	for n, want := range cases {
+		if got := NewStoreSharded(n).Shards(); got != want {
+			t.Fatalf("NewStoreSharded(%d).Shards() = %d, want %d", n, got, want)
+		}
+	}
+	if got := NewStore().Shards(); got != DefaultShards {
+		t.Fatalf("NewStore().Shards() = %d, want %d", got, DefaultShards)
+	}
+}
+
+// TestShardSpread: a wide batch lands in more than one shard, and the
+// per-shard stats account for every entry exactly once.
+func TestShardSpread(t *testing.T) {
+	s := NewStoreSharded(8)
+	b := s.Begin()
+	for i := 0; i < 256; i++ {
+		b.Put(fmt.Sprintf("key%04d", i), []byte("v"))
+	}
+	if b.Len() != 256 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Publish()
+	st := s.StoreStats()
+	if len(st.Shards) != 8 {
+		t.Fatalf("Shards len = %d", len(st.Shards))
+	}
+	nonEmpty, sum := 0, 0
+	for _, sh := range st.Shards {
+		if sh.Entries > 0 {
+			nonEmpty++
+		}
+		sum += sh.Entries
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("256 keys landed in %d shard(s); hash routing broken", nonEmpty)
+	}
+	if sum != st.Entries || st.Entries != 256 {
+		t.Fatalf("per-shard entries sum %d, Entries %d, want 256", sum, st.Entries)
+	}
+}
+
+// TestCrossShardPublishAtomicity: one batch spanning every shard becomes
+// visible all-or-nothing — a snapshot acquired at any time sees either
+// none or all of the batch's keys, never a shard subset.
+func TestCrossShardPublishAtomicity(t *testing.T) {
+	s := NewStoreSharded(8)
+	const keys = 64
+	names := make([]string, keys)
+	seed := s.Begin()
+	for i := range names {
+		names[i] = fmt.Sprintf("key%04d", i)
+		seed.Put(names[i], []byte("0"))
+	}
+	seed.Publish()
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Acquire()
+				var first string
+				for i, k := range names {
+					v, ok := snap.Get(k)
+					if !ok {
+						select {
+						case errCh <- fmt.Errorf("missing %s at epoch %d", k, snap.Epoch()):
+						default:
+						}
+						break
+					}
+					if i == 0 {
+						first = string(v)
+					} else if string(v) != first {
+						select {
+						case errCh <- fmt.Errorf("shard-torn snapshot at epoch %d: %q vs %q", snap.Epoch(), first, v):
+						default:
+						}
+						break
+					}
+				}
+				snap.Release()
+			}
+		}()
+	}
+	for r := 1; r <= 300; r++ {
+		b := s.BeginSized(keys)
+		val := []byte(fmt.Sprint(r))
+		for _, k := range names {
+			b.Put(k, val)
+		}
+		b.Publish()
+		if r%64 == 0 {
+			s.GC()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestGCShardIsolated: compacting one shard reclaims only that shard's
+// superseded versions and leaves every other chain untouched.
+func TestGCShardIsolated(t *testing.T) {
+	s := NewStoreSharded(4)
+	const rounds = 6
+	names := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	for r := 0; r < rounds; r++ {
+		b := s.Begin()
+		for _, k := range names {
+			b.Put(k, []byte(fmt.Sprint(r)))
+		}
+		b.Publish()
+	}
+	before := s.StoreStats()
+	target := -1
+	for i, sh := range before.Shards {
+		if sh.Entries > 0 {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no shard holds data")
+	}
+	reclaimed := s.GCShard(target)
+	if reclaimed == 0 {
+		t.Fatalf("GCShard(%d) reclaimed nothing", target)
+	}
+	after := s.StoreStats()
+	for i := range after.Shards {
+		if i == target {
+			if after.Shards[i].Layers >= before.Shards[i].Layers {
+				t.Fatalf("shard %d not compacted: %d -> %d layers", i, before.Shards[i].Layers, after.Shards[i].Layers)
+			}
+			continue
+		}
+		if after.Shards[i] != before.Shards[i] {
+			t.Fatalf("shard %d changed by GCShard(%d): %+v -> %+v", i, target, before.Shards[i], after.Shards[i])
+		}
+	}
+	// Data is still all readable at the newest values.
+	snap := s.Acquire()
+	defer snap.Release()
+	for _, k := range names {
+		if v, ok := snap.Get(k); !ok || string(v) != fmt.Sprint(rounds-1) {
+			t.Fatalf("Get(%s) = %q ok=%v after shard GC", k, v, ok)
+		}
+	}
+}
+
+// TestParallelShardGCUnderPublish drives concurrent per-shard compactions
+// against a live producer and live readers (run with -race): the merge
+// work happens outside the store mutex, so this exercises the optimistic
+// splice including its abandon-on-conflict path via the Publish backstop.
+func TestParallelShardGCUnderPublish(t *testing.T) {
+	s := NewStoreSharded(8)
+	const keys = 64
+	names := make([]string, keys)
+	seed := s.Begin()
+	for i := range names {
+		names[i] = fmt.Sprintf("key%04d", i)
+		seed.Put(names[i], []byte("0"))
+	}
+	seed.Publish()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < s.Shards(); g++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.GCShard(shard)
+			}
+		}(g)
+	}
+	errCh := make(chan error, 2)
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Acquire()
+				var first string
+				for i, k := range names {
+					v, ok := snap.Get(k)
+					if !ok {
+						select {
+						case errCh <- fmt.Errorf("missing %s", k):
+						default:
+						}
+						break
+					}
+					if i == 0 {
+						first = string(v)
+					} else if string(v) != first {
+						select {
+						case errCh <- fmt.Errorf("torn read under parallel GC: %q vs %q", first, v):
+						default:
+						}
+						break
+					}
+				}
+				snap.Release()
+			}
+		}()
+	}
+	for r := 1; r <= 400; r++ {
+		b := s.BeginSized(keys)
+		val := []byte(fmt.Sprint(r))
+		for _, k := range names {
+			b.Put(k, val)
+		}
+		b.Publish()
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// Once quiescent, a full GC leaves at most one layer per shard and the
+	// newest values visible.
+	s.GC()
+	st := s.StoreStats()
+	if st.Layers > 2 {
+		t.Fatalf("max shard depth %d after quiescent GC", st.Layers)
+	}
+	snap := s.Acquire()
+	defer snap.Release()
+	if v, ok := snap.Get(names[0]); !ok || string(v) != "400" {
+		t.Fatalf("final Get = %q ok=%v", v, ok)
+	}
+}
+
+// TestSingleShardStore: NewStoreSharded(1) reproduces the unsharded
+// layout — all keys in one chain, stats matching the classic shape.
+func TestSingleShardStore(t *testing.T) {
+	s := NewStoreSharded(1)
+	for i := 0; i < 5; i++ {
+		b := s.Begin()
+		b.Put("a", []byte{byte(i)})
+		b.Put("b", []byte{byte(i)})
+		b.Publish()
+	}
+	st := s.StoreStats()
+	if len(st.Shards) != 1 || st.Layers != 5 || st.Entries != 10 {
+		t.Fatalf("single-shard stats = %+v", st)
+	}
+	if n := s.GC(); n != 8 {
+		t.Fatalf("GC reclaimed %d, want 8", n)
+	}
+	snap := s.Acquire()
+	defer snap.Release()
+	if v, ok := snap.Get("b"); !ok || v[0] != 4 {
+		t.Fatalf("Get(b) = %v ok=%v", v, ok)
+	}
+}
