@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"memex"
@@ -24,11 +28,12 @@ import (
 func main() {
 	var (
 		addr   = flag.String("addr", ":8600", "listen address")
-		dir    = flag.String("dir", "", "storage directory (required)")
+		dir    = flag.String("dir", "", "data directory (required; holds the kvstore with the RDBMS tables, WAL, and the version store's cold tier — restarting on the same directory recovers all archived derived state)")
 		seed   = flag.Int64("seed", 7, "world seed")
 		replay = flag.Int("replay", 0, "pre-play this many simulated community visits (0 = none)")
 		themes = flag.Duration("themes", time.Minute, "theme-rebuild demon interval (0 = manual)")
 		train  = flag.Duration("train", 30*time.Second, "classifier-retrain demon interval (0 = manual)")
+		gc     = flag.Duration("gc", 0, "version-store GC/fold demon interval (0 = engine default of 2s, negative = manual)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -42,11 +47,16 @@ func main() {
 		Source:        world.Source(),
 		ThemeInterval: *themes,
 		TrainInterval: *train,
+		GCInterval:    *gc,
 	})
 	if err != nil {
 		log.Fatalf("memexd: %v", err)
 	}
 	defer m.Close()
+	if st := m.Status(); st.Version.Cold != nil && st.Version.Cold.Records > 0 {
+		log.Printf("recovered %d cold derived records at watermark %d from %s (%d pages indexed, no re-crawl needed)",
+			st.Version.Cold.Records, st.Version.Cold.Watermark, *dir, st.PagesIndexed)
+	}
 
 	if *replay > 0 {
 		log.Printf("replaying %d simulated visits from %d users…", *replay, len(world.Trace.Users))
@@ -60,7 +70,36 @@ func main() {
 		log.Printf("replayed %d visits; %d themes discovered", n, st.Themes)
 	}
 
+	// Serve until SIGINT/SIGTERM, then shut down in order: drain the HTTP
+	// listener first (in-flight requests finish against a live engine),
+	// then close the engine — Close folds the version store's remaining
+	// in-memory tier to the cold keyspace, which is what makes the next
+	// start on this -dir recover every archived derived record instead of
+	// re-crawling. A hard kill loses only what was published after the
+	// last GC fold (the crash contract in internal/version/cold.go).
+	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	log.Printf("memex server listening on %s (world seed %d, %d pages)",
 		*addr, *seed, len(world.Corpus.Pages))
-	log.Fatal(m.Serve(*addr))
+	select {
+	case err := <-errCh:
+		// Fold before dying: log.Fatalf skips deferred Closes, and the
+		// replayed/ingested derived state since the last GC fold would
+		// otherwise be lost to a mere port clash.
+		m.Close()
+		log.Fatalf("memexd: serve: %v", err)
+	case sig := <-sigCh:
+		log.Printf("memexd: %v: draining requests, folding derived state to %s and shutting down", sig, *dir)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("memexd: http shutdown: %v", err)
+		}
+		cancel()
+		if err := m.Close(); err != nil {
+			log.Fatalf("memexd: close: %v", err)
+		}
+	}
 }

@@ -2,6 +2,8 @@ package client_test
 
 import (
 	"net/http/httptest"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -153,6 +155,150 @@ func TestEndToEndBookmarkThemesRecommend(t *testing.T) {
 		t.Fatalf("Recommend: %v", err)
 	}
 	_ = recs // may be empty if peers saw nothing new; API must not error
+}
+
+// TestEndToEndRestartRecoversDerivedState is the ISSUE 3 e2e restart
+// test: ingest pages, stop memexd's engine, restart it on the same data
+// directory, and assert that recommend/themes/search answers match the
+// pre-restart snapshots, that /api/status reports cold-tier record
+// counts, and that re-visiting the same pages triggers zero re-fetches —
+// the derived state came back from the version store's cold tier, not
+// from re-crawling.
+func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 9, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 15})
+	dir := t.TempDir()
+	open := func() (*core.Engine, *httptest.Server, *client.Client) {
+		e, err := core.Open(core.Config{
+			Dir:    dir,
+			Source: corpusSource{c},
+			KV:     kvstore.Options{Sync: kvstore.SyncNever},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(server.New(e))
+		return e, ts, client.New(ts.URL)
+	}
+
+	// --- first life: ingest and snapshot the mining answers ---
+	e1, ts1, cl1 := open()
+	leaves := c.Leaves()
+	var visited []string
+	for u := int64(1); u <= 3; u++ {
+		cl1.Register(u, "user")
+		leaf := leaves[0]
+		if u == 3 {
+			leaf = leaves[3]
+		}
+		n := 0
+		for _, pid := range c.LeafPages[leaf.ID] {
+			p := c.Page(pid)
+			if p.Front {
+				continue
+			}
+			cl1.Bookmark(u, p.URL, "/interest", tBase)
+			cl1.Visit(u, p.URL, "", tBase.Add(time.Duration(n)*time.Minute), "community")
+			if u == 1 {
+				visited = append(visited, p.URL)
+			}
+			n++
+			if n == 6 {
+				break
+			}
+		}
+	}
+	e1.DrainBackground()
+	themesPre, err := cl1.RebuildThemes()
+	if err != nil || themesPre.Themes == 0 {
+		t.Fatalf("RebuildThemes pre-restart: %v (%d themes)", err, themesPre.Themes)
+	}
+	query := c.Topics[leaves[0].Parent].Name + "_" + leaves[0].Name + "01"
+	searchPre, err := cl1.Search(1, query, 5)
+	if err != nil || len(searchPre) == 0 {
+		t.Fatalf("Search pre-restart: %v (%d hits)", err, len(searchPre))
+	}
+	recsPre, err := cl1.Recommend(1, 5, "")
+	if err != nil {
+		t.Fatalf("Recommend pre-restart: %v", err)
+	}
+	stPre, err := cl1.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := e1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// --- second life: same data dir, fresh process state ---
+	e2, ts2, cl2 := open()
+	defer func() {
+		ts2.Close()
+		e2.Close()
+	}()
+	stPost, err := cl2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPost.Version.Cold == nil || stPost.Version.Cold.Records == 0 {
+		t.Fatal("/api/status reports no cold-tier records after restart")
+	}
+	if stPost.Version.Watermark != stPre.Version.Watermark {
+		t.Fatalf("restart lost epochs: watermark %d, want %d", stPost.Version.Watermark, stPre.Version.Watermark)
+	}
+	if stPost.PagesIndexed != stPre.PagesIndexed {
+		t.Fatalf("index rebuilt with %d docs, want %d", stPost.PagesIndexed, stPre.PagesIndexed)
+	}
+
+	// Search answers must match: the inverted index was rebuilt from the
+	// recovered term-count records, not from re-fetching.
+	searchPost, err := cl2.Search(1, query, 5)
+	if err != nil {
+		t.Fatalf("Search post-restart: %v", err)
+	}
+	if got, want := hitURLs(searchPost), hitURLs(searchPre); !slices.Equal(got, want) {
+		t.Fatalf("search diverged after restart: %v, want %v", got, want)
+	}
+
+	// Themes and recommendations are recomputed from recovered vectors and
+	// must land where they did before the restart.
+	themesPost, err := cl2.RebuildThemes()
+	if err != nil || themesPost.Themes != themesPre.Themes {
+		t.Fatalf("themes after restart: %v (%d, want %d)", err, themesPost.Themes, themesPre.Themes)
+	}
+	recsPost, err := cl2.Recommend(1, 5, "")
+	if err != nil {
+		t.Fatalf("Recommend post-restart: %v", err)
+	}
+	if got, want := hitURLs(recsPost), hitURLs(recsPre); !slices.Equal(got, want) {
+		t.Fatalf("recommendations diverged after restart: %v, want %v", got, want)
+	}
+
+	// Re-visiting already-archived pages must not re-crawl: the fetch
+	// path's "already published" check now reads the recovered cold tier.
+	for i, url := range visited {
+		if err := cl2.Visit(1, url, "", tBase.Add(time.Duration(24+i)*time.Hour), "community"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2.DrainBackground()
+	stAfter, err := cl2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stAfter.PagesFetched != 0 {
+		t.Fatalf("restarted server re-fetched %d already-archived pages", stAfter.PagesFetched)
+	}
+}
+
+// hitURLs projects any result slice with URL fields to its URL set.
+func hitURLs(hits []core.PageInfo) []string {
+	urls := make([]string, 0, len(hits))
+	for _, h := range hits {
+		urls = append(urls, h.URL)
+	}
+	sort.Strings(urls)
+	return urls
 }
 
 func TestEndToEndImportExport(t *testing.T) {

@@ -2,47 +2,102 @@ package core
 
 import (
 	"encoding/binary"
-	"math"
 	"strconv"
+	"strings"
 
 	"memex/internal/text"
 	"memex/internal/version"
 )
 
 // This file is the engine's bridge to the version store (§3): the fetch
-// path publishes each page's derived data (term counts, raw term vector)
-// as one atomic batch, and the analyzer-facing read paths (usage
-// breakdown, profiles, trail classification) consume them through pinned
-// snapshots. Demons therefore analyze a consistent archive-wide view —
-// every page's stats all-or-nothing, repeatable across the whole pass —
-// while ingest keeps publishing without ever blocking them.
+// path publishes each page's derived term counts as one batch, and the
+// analyzer-facing read paths (usage breakdown, profiles, themes, trail
+// classification) consume them through pinned snapshots. Demons therefore
+// analyze a consistent archive-wide view — every page's stats
+// all-or-nothing, repeatable across the whole pass — while ingest keeps
+// publishing without ever blocking them.
+//
+// The term-count record is the only derived record: a page's term vector
+// is a pure function of its counts and the engine dictionary, so
+// DerivedView derives (and memoizes) vectors instead of storing a second
+// blob. That also makes every persisted record process-portable — dict
+// ids are assigned per process, so a stored vector blob would go stale
+// across a restart, while term strings never do. On reopen the engine
+// replays the recovered records through reloadDerived to rebuild the
+// dictionary, corpus statistics and inverted index, and the fetch path
+// skips every recovered page instead of re-crawling it.
 
-// tfKey/vecKey name a page's derived records in the version store.
-func tfKey(page int64) string  { return "tf/" + strconv.FormatInt(page, 10) }
-func vecKey(page int64) string { return "vec/" + strconv.FormatInt(page, 10) }
+// tfKey names a page's derived term-count record in the version store.
+func tfKey(page int64) string { return "tf/" + strconv.FormatInt(page, 10) }
 
-// publishDerived stages and publishes one page's derived data as a single
-// batch (the producer side of the loosely-consistent versioning; consumers
-// see both records or neither — the version store's cross-shard atomic
-// commit covers both keys even when they hash to different shards). The
-// deferred Abort is a no-op on success but completes the epoch if staging
-// panics — a leaked epoch would stall the watermark forever under the
-// contiguity rule.
-func (e *Engine) publishDerived(pageID int64, tf map[string]int, vec text.Vector) {
-	b := e.vs.BeginSized(2)
+// pageOfTFKey is the inverse of tfKey (ok=false for foreign keys).
+func pageOfTFKey(key string) (int64, bool) {
+	if !strings.HasPrefix(key, "tf/") {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(key[3:], 10, 64)
+	return id, err == nil
+}
+
+// publishDerived stages and publishes one page's derived data (the
+// producer side of the loosely-consistent versioning). The deferred Abort
+// is a no-op on success but completes the epoch if staging panics — a
+// leaked epoch would stall the watermark forever under the contiguity
+// rule.
+func (e *Engine) publishDerived(pageID int64, tf map[string]int) {
+	b := e.vs.BeginSized(1)
 	defer b.Abort()
 	b.Put(tfKey(pageID), encodeCounts(tf))
-	b.Put(vecKey(pageID), encodeVector(vec))
 	b.Publish()
 }
 
-// derivedPublished reports whether the page's derived stats are visible
-// in the version store — the reader-facing "already fetched" check. It
-// is lock-free (one snapshot pin plus one shard-chain walk), so hot
-// paths use it instead of taking e.mu. A publish still below the
-// watermark can read as false; callers that go on to fetch must let the
-// claim set (e.fetched) arbitrate.
+// reloadDerived rebuilds the in-memory text machinery — dictionary ids,
+// corpus document frequencies, the inverted index — and the fetch claim
+// set from the derived records the version store recovered from its cold
+// tier, so a restarted server answers search/profile/theme queries and
+// never re-crawls a page whose derived state survived. Runs during Open,
+// single-threaded, before any demon starts.
+func (e *Engine) reloadDerived() int {
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	n := 0
+	view.sn.Range(func(key string, raw []byte) bool {
+		page, ok := pageOfTFKey(key)
+		if !ok {
+			return true
+		}
+		tf := decodeCounts(raw)
+		if tf == nil {
+			return true
+		}
+		// Same order as the fetch path: corpus before index visibility.
+		e.corp.AddDoc(text.VectorFromCounts(e.dict, tf))
+		e.idx.AddCounts(page, tf)
+		e.fetched[page] = true
+		n++
+		return true
+	})
+	return n
+}
+
+// derivedPublished reports whether the page's derived stats are (or are
+// being) archived — the reader-facing "already fetched" check. The claim
+// set answers first: it covers every page this process fetched or
+// recovered, costs one brief RLock, and — now that GC folds derived
+// records to disk — spares the common skip case a kvstore read (a
+// chain-missed snapshot Get falls through to the cold tier). Pages
+// beyond the claim set (not seen by this process) fall back to the
+// snapshot check, whose cold fallthrough is exactly the read that makes
+// a restarted server skip re-crawling. A publish still in flight can
+// read as false; callers that go on to fetch must let the claim set
+// arbitrate under e.mu.
 func (e *Engine) derivedPublished(pageID int64) bool {
+	e.mu.RLock()
+	claimed := e.fetched[pageID]
+	e.mu.RUnlock()
+	if claimed {
+		return true
+	}
 	sn := e.vs.Acquire()
 	_, ok := sn.Get(tfKey(pageID))
 	sn.Release()
@@ -59,17 +114,19 @@ func (e *Engine) derivedPublished(pageID int64) bool {
 // the same few pages many times — so a DerivedView is for a single
 // goroutine, like the passes that hold one.
 type DerivedView struct {
-	sn  *version.Snapshot
-	tf  map[int64]map[string]int
-	vec map[int64]text.Vector
+	sn   *version.Snapshot
+	dict *text.Dict
+	tf   map[int64]map[string]int
+	vec  map[int64]text.Vector
 }
 
 // DerivedSnapshot pins the current derived-data epoch.
 func (e *Engine) DerivedSnapshot() *DerivedView {
 	return &DerivedView{
-		sn:  e.vs.Acquire(),
-		tf:  map[int64]map[string]int{},
-		vec: map[int64]text.Vector{},
+		sn:   e.vs.Acquire(),
+		dict: e.dict,
+		tf:   map[int64]map[string]int{},
+		vec:  map[int64]text.Vector{},
 	}
 }
 
@@ -93,24 +150,28 @@ func (v *DerivedView) TermCounts(page int64) map[string]int {
 	return tf
 }
 
-// Vector returns the page's raw term vector as of the view's epoch.
+// Vector returns the page's raw term vector as of the view's epoch,
+// derived from the term-count record (weights are the counts, ids come
+// from the shared dictionary — identical to what the fetch path computed,
+// and valid across restarts because the record stores terms, not ids).
 func (v *DerivedView) Vector(page int64) (text.Vector, bool) {
 	if vec, ok := v.vec[page]; ok {
 		return vec, len(vec.IDs) > 0
 	}
 	var vec text.Vector
-	if raw, ok := v.sn.Get(vecKey(page)); ok {
-		vec = decodeVector(raw)
+	if tf := v.TermCounts(page); tf != nil {
+		vec = text.VectorFromCounts(v.dict, tf)
 	}
 	v.vec[page] = vec
 	return vec, len(vec.IDs) > 0
 }
 
-// --- codecs ---
+// --- codec ---
 //
 // Derived records are stored as compact binary blobs: uvarint-framed
-// strings for term counts, delta-coded ids plus raw float64 bits for
-// vectors. No reflection, no allocation beyond the result.
+// term strings with counts. No reflection, no allocation beyond the
+// result, and nothing process-local — the blob must stay decodable by a
+// future process reading it back from the cold tier.
 
 // encodeCounts serializes term counts as uvarint(n) then per term
 // uvarint(len), bytes, uvarint(count).
@@ -152,48 +213,4 @@ func decodeCounts(b []byte) map[string]int {
 		tf[term] = int(c)
 	}
 	return tf
-}
-
-// encodeVector serializes a sparse vector as uvarint(n) then delta-coded
-// uvarint ids (the ids are sorted ascending) followed by float64 weights.
-func encodeVector(v text.Vector) []byte {
-	buf := make([]byte, 0, binary.MaxVarintLen64+len(v.IDs)*(binary.MaxVarintLen32+8))
-	buf = binary.AppendUvarint(buf, uint64(len(v.IDs)))
-	prev := int32(0)
-	for _, id := range v.IDs {
-		buf = binary.AppendUvarint(buf, uint64(id-prev))
-		prev = id
-	}
-	for _, w := range v.Weights {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
-	}
-	return buf
-}
-
-// decodeVector is the inverse of encodeVector (zero vector on corrupt
-// input).
-func decodeVector(b []byte) text.Vector {
-	n, w := binary.Uvarint(b)
-	if w <= 0 {
-		return text.Vector{}
-	}
-	b = b[w:]
-	v := text.Vector{IDs: make([]int32, 0, n), Weights: make([]float64, 0, n)}
-	prev := int32(0)
-	for i := uint64(0); i < n; i++ {
-		d, w := binary.Uvarint(b)
-		if w <= 0 {
-			return text.Vector{}
-		}
-		b = b[w:]
-		prev += int32(d)
-		v.IDs = append(v.IDs, prev)
-	}
-	if uint64(len(b)) < 8*n {
-		return text.Vector{}
-	}
-	for i := uint64(0); i < n; i++ {
-		v.Weights = append(v.Weights, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
-	}
-	return v
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -40,25 +39,34 @@ func TestCountsCodecRoundTrip(t *testing.T) {
 	}
 }
 
-func TestVectorCodecRoundTrip(t *testing.T) {
-	cases := []text.Vector{
-		{},
-		{IDs: []int32{0}, Weights: []float64{1.5}},
-		{IDs: []int32{2, 7, 7000, 1 << 28}, Weights: []float64{0.25, -3, math.Pi, 1e-9}},
+// TestVectorDerivedFromCounts: the term vector is not stored — it is a
+// pure function of the term-count record and the shared dictionary
+// (which is what makes every persisted derived record process-portable).
+// The derived vector must match what the fetch path computes directly.
+func TestVectorDerivedFromCounts(t *testing.T) {
+	c, e := testWorld(t)
+	e.RegisterUser(1, "alice")
+	p := c.Page(c.LeafPages[c.Leaves()[0].ID][1])
+	if err := e.RecordVisit(1, p.URL, "", tBase, events.Community); err != nil {
+		t.Fatal(err)
 	}
-	for _, v := range cases {
-		got := decodeVector(encodeVector(v))
-		if len(got.IDs) != len(v.IDs) {
-			t.Fatalf("roundtrip len = %d, want %d", len(got.IDs), len(v.IDs))
-		}
-		for i := range v.IDs {
-			if got.IDs[i] != v.IDs[i] || got.Weights[i] != v.Weights[i] {
-				t.Fatalf("roundtrip(%v) = %v", v, got)
-			}
-		}
+	e.DrainBackground()
+
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	id := e.idByURL[p.URL]
+	got, ok := view.Vector(id)
+	if !ok {
+		t.Fatal("no derived vector for fetched page")
 	}
-	if got := decodeVector([]byte{1, 3}); len(got.IDs) != 0 {
-		t.Fatal("truncated vector decoded")
+	want := text.VectorFromCounts(e.dict, text.TermCounts(p.Title+" "+p.Text))
+	if !reflect.DeepEqual(got.IDs, want.IDs) || !reflect.DeepEqual(got.Weights, want.Weights) {
+		t.Fatal("derived vector diverges from fetch-path computation")
+	}
+	// And it memoizes: a second read returns the identical value.
+	again, _ := view.Vector(id)
+	if !reflect.DeepEqual(again, got) {
+		t.Fatal("memoized vector changed between reads")
 	}
 }
 
@@ -342,7 +350,10 @@ func TestSnapshotConsistencyUnderLoad(t *testing.T) {
 		}
 	}()
 
-	// Snapshot checkers: no torn tf/vec pairs, repeatable raw reads.
+	// Snapshot checkers: repeatable raw reads, and the derived accessors
+	// (TermCounts and the dictionary-derived Vector) must agree with the
+	// raw record — a page is either fully visible to a view or fully
+	// absent, never half-derived.
 	for w := 0; w < 2; w++ {
 		wg.Add(1)
 		go func() {
@@ -356,19 +367,17 @@ func TestSnapshotConsistencyUnderLoad(t *testing.T) {
 				view := e.DerivedSnapshot()
 				for _, id := range ids {
 					rawTF, okTF := view.sn.Get(tfKey(id))
-					_, okVec := view.sn.Get(vecKey(id))
-					if okTF != okVec {
-						report(fmt.Errorf("page %d: torn tf/vec pair at epoch %d (tf=%v vec=%v)",
-							id, view.Epoch(), okTF, okVec))
-					}
 					rawTF2, okTF2 := view.sn.Get(tfKey(id))
 					if okTF != okTF2 || !bytes.Equal(rawTF, rawTF2) {
 						report(fmt.Errorf("page %d: non-repeatable read within pinned view at epoch %d",
 							id, view.Epoch()))
 					}
-					// The decoded accessors must agree with the raw pair.
 					if (view.TermCounts(id) != nil) != okTF {
 						report(fmt.Errorf("page %d: TermCounts disagrees with snapshot at epoch %d", id, view.Epoch()))
+					}
+					if _, okVec := view.Vector(id); okVec != okTF {
+						report(fmt.Errorf("page %d: derived vector disagrees with term counts at epoch %d (tf=%v vec=%v)",
+							id, view.Epoch(), okTF, okVec))
 					}
 				}
 				view.Release()

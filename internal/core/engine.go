@@ -8,9 +8,14 @@
 //
 // # Derived page state lives only in the version store
 //
-// A page's derived data — term counts and raw term vector — has exactly
-// one home: the sharded epoch-layer store in internal/version, published
-// by the fetch path as one atomic batch per page. There is no live map
+// A page's derived data — its term-count record, from which term vectors
+// are derived on demand — has exactly one home: the sharded epoch-layer
+// store in internal/version, published by the fetch path as one batch
+// per page, held in RAM while hot and folded to the engine's kvstore
+// ("vc/" keyspace) by the version-gc demon, so the archive grows on disk
+// and survives restarts (Open replays the recovered records back into
+// the dictionary, corpus stats and inverted index, and the fetch path
+// skips recovered pages instead of re-crawling). There is no live map
 // shadowing it. Every derived-data reader pins a DerivedView snapshot
 // for its whole pass and is therefore snapshot-consistent:
 //
@@ -118,9 +123,10 @@ type Engine struct {
 	idByURL map[string]int64
 	titleOf map[int64]string
 	// fetched is the fetch path's claim set: the page's derived stats
-	// have been (or are being) published. It arbitrates the two-workers-
-	// one-URL race; readers asking "is this page fetched?" use the
-	// lock-free version-store check instead (derivedPublished).
+	// have been (or are being) published, or were recovered from the cold
+	// tier at open. It arbitrates the two-workers-one-URL race under the
+	// full lock, and serves as derivedPublished's first, disk-free answer
+	// for "is this page fetched?".
 	fetched map[int64]bool
 	// visibility: users who visited each page; community flag.
 	seenBy    map[int64]map[int64]bool
@@ -176,11 +182,20 @@ func Open(cfg Config) (*Engine, error) {
 		kv.Close()
 		return nil, err
 	}
+	// The version store shares the engine's kvstore: GC folds cold derived
+	// records into the "vc/" keyspace (beside the RDBMS's "tbl/"/"cat/"
+	// keyspaces) and recovers them here on reopen, so derived page state
+	// survives restarts on bounded memory.
+	vs, err := version.Open(kv, "vc/", version.Options{})
+	if err != nil {
+		kv.Close()
+		return nil, err
+	}
 	e := &Engine{
 		cfg:       cfg,
 		db:        db,
 		kv:        kv,
-		vs:        version.NewStore(),
+		vs:        vs,
 		dict:      text.NewDict(),
 		corp:      text.NewCorpus(),
 		g:         graph.New(),
@@ -204,6 +219,10 @@ func Open(cfg Config) (*Engine, error) {
 		kv.Close()
 		return nil, err
 	}
+	// Replay recovered derived records into the in-memory text machinery
+	// (dictionary, corpus DF, inverted index) so queries work immediately
+	// after a restart and the fetch path skips every recovered page.
+	e.reloadDerived()
 	e.startDemons()
 	return e, nil
 }
@@ -358,9 +377,14 @@ func (e *Engine) treeLocked(user int64) *folders.Tree {
 
 // Stats is a point-in-time snapshot of engine counters.
 type Stats struct {
-	Users         int
-	Pages         int
-	PagesIndexed  int
+	Users        int
+	Pages        int
+	PagesIndexed int
+	// PagesFetched counts pages this process fetched from the source; a
+	// restarted server serving recovered derived state keeps it at zero
+	// until a genuinely new page arrives (the fetch path skips recovered
+	// pages instead of re-crawling).
+	PagesFetched  int64
 	Visits        int64
 	Bookmarks     int64
 	QueueDepth    int
@@ -387,6 +411,7 @@ func (e *Engine) Status() Stats {
 		Users:         users,
 		Pages:         pages,
 		PagesIndexed:  e.idx.Docs(),
+		PagesFetched:  e.stats.PagesFetched.Load(),
 		Visits:        e.stats.VisitsLogged.Load(),
 		Bookmarks:     e.stats.BookmarksLogged.Load(),
 		QueueDepth:    e.queue.Len(),
@@ -410,7 +435,11 @@ func (e *Engine) DrainBackground() {
 	}
 }
 
-// Close stops demons and releases storage.
+// Close stops demons and releases storage. The version store folds its
+// remaining in-memory tier to the cold keyspace first (demons are already
+// stopped, so nothing pins a snapshot or publishes concurrently), which
+// is what makes a graceful restart lose zero derived epochs; only then
+// does the backing kvstore close.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -421,5 +450,9 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	e.queue.Close()
 	e.pool.Stop()
+	if err := e.vs.Close(); err != nil {
+		e.kv.Close()
+		return err
+	}
 	return e.kv.Close()
 }

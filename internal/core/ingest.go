@@ -347,8 +347,10 @@ func (e *Engine) fetchAndIndexSlow(pageID int64, url string) map[string]int {
 	// Producer side of the loosely-consistent versioning: the page's
 	// derived stats are staged and published as one batch (consumers see
 	// all or nothing), and every derived-data read path (usage, profiles,
-	// themes, trails, recommend) consumes them through pinned snapshots.
-	e.publishDerived(pageID, tf, vec)
+	// themes, trails, recommend) consumes them through pinned snapshots —
+	// from memory while hot, from the kvstore cold tier once GC folds
+	// them, and again after a restart recovers the fold.
+	e.publishDerived(pageID, tf)
 
 	e.idx.AddCounts(pageID, tf)
 	e.stats.PagesIndexed.Add(1)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strings"
 	"time"
 
@@ -226,6 +227,17 @@ func (e *Engine) RebuildThemes() themes.Stats {
 		})
 	}
 	e.mu.RUnlock()
+	// Clustering is seeded but order-sensitive; feeding it in map
+	// iteration order made every rebuild a slightly different taxonomy.
+	// Sorting pins the input, so identical archives — including one
+	// recovered from the cold tier after a restart — rebuild identical
+	// themes (and identical downstream profiles/recommendations).
+	sort.Slice(skels, func(i, j int) bool {
+		if skels[i].user != skels[j].user {
+			return skels[i].user < skels[j].user
+		}
+		return skels[i].path < skels[j].path
+	})
 
 	// TF-IDF weighting and clustering run with no lock held at all.
 	var ufs []themes.UserFolder
@@ -317,8 +329,15 @@ func (e *Engine) userDocsInView(user int64, view *DerivedView) []themes.DocVec {
 		}
 	}
 	e.mu.RUnlock()
-	var docs []themes.DocVec
+	// Deterministic page order: profile weights are float accumulations,
+	// and downstream ranking must not depend on map iteration order.
+	pages := make([]int64, 0, len(pageSet))
 	for page := range pageSet {
+		pages = append(pages, page)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	var docs []themes.DocVec
+	for _, page := range pages {
 		if raw, ok := view.Vector(page); ok {
 			docs = append(docs, themes.DocVec{ID: page, Vec: e.corp.TFIDF(raw)})
 		}

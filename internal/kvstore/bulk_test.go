@@ -1,0 +1,128 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPutBatchChunkedAndDeleteBatch(t *testing.T) {
+	s := openTemp(t, Options{Sync: SyncNever})
+	var pairs []KV
+	for i := 0; i < 1000; i++ {
+		pairs = append(pairs, KV{
+			Key:   []byte(fmt.Sprintf("bulk-%04d", i)),
+			Value: []byte(fmt.Sprintf("val-%04d", i)),
+		})
+	}
+	if err := s.PutBatchChunked(pairs, 64); err != nil {
+		t.Fatalf("PutBatchChunked: %v", err)
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+	var dead [][]byte
+	for i := 0; i < 1000; i += 2 {
+		dead = append(dead, []byte(fmt.Sprintf("bulk-%04d", i)))
+	}
+	dead = append(dead, []byte("never-existed")) // absent keys are fine
+	if err := s.DeleteBatchChunked(dead, 100); err != nil {
+		t.Fatalf("DeleteBatchChunked: %v", err)
+	}
+	if s.Len() != 500 {
+		t.Fatalf("Len after deletes = %d, want 500", s.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok, err := s.Get([]byte(fmt.Sprintf("bulk-%04d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (i%2 == 1) {
+			t.Fatalf("key %d present=%v after batch delete", i, ok)
+		}
+	}
+}
+
+func TestReadViewDelegates(t *testing.T) {
+	s := openTemp(t, Options{Sync: SyncNever})
+	s.Put([]byte("a"), []byte("1"))
+	s.Put([]byte("b"), []byte("2"))
+	v := s.ReadView()
+	if got, ok, _ := v.Get([]byte("a")); !ok || string(got) != "1" {
+		t.Fatalf("view Get = %q,%v", got, ok)
+	}
+	if v.Len() != 2 {
+		t.Fatalf("view Len = %d", v.Len())
+	}
+	n := 0
+	v.ScanPrefix([]byte(""), func(k, _ []byte) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("view scan saw %d keys", n)
+	}
+}
+
+// BenchmarkGetDuringBulkWrite is the regression guard for chunked fold
+// writes: a reader's Get latency while a bulk load runs must stay bounded
+// by one chunk's critical section, not by the whole batch. Compare the
+// monolithic and chunked sub-benchmarks — the version store's cold fold
+// uses the chunked path for exactly this reason.
+func BenchmarkGetDuringBulkWrite(b *testing.B) {
+	const batch = 8192
+	mkPairs := func(round int) []KV {
+		pairs := make([]KV, batch)
+		for i := range pairs {
+			pairs[i] = KV{
+				Key:   []byte(fmt.Sprintf("w-%d-%05d", round, i%2048)),
+				Value: []byte("some-bulk-value-payload"),
+			}
+		}
+		return pairs
+	}
+	for _, mode := range []string{"monolithic", "chunked"} {
+		b.Run(mode, func(b *testing.B) {
+			s := openTemp(b, Options{Sync: SyncNever})
+			s.Put([]byte("probe"), []byte("v"))
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var rounds atomic.Int64
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; ; r++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					pairs := mkPairs(r)
+					if mode == "monolithic" {
+						s.PutBatch(pairs)
+					} else {
+						s.PutBatchChunked(pairs, DefaultWriteChunk)
+					}
+					rounds.Add(1)
+				}
+			}()
+			// Let the writer get going so reads genuinely contend.
+			time.Sleep(5 * time.Millisecond)
+			var worst time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, ok, err := s.Get([]byte("probe")); !ok || err != nil {
+					b.Fatalf("probe read failed: %v %v", ok, err)
+				}
+				if d := time.Since(t0); d > worst {
+					worst = d
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			b.ReportMetric(float64(worst.Microseconds()), "worst-us")
+			b.ReportMetric(float64(rounds.Load()), "write-rounds")
+		})
+	}
+}

@@ -178,6 +178,82 @@ type KV struct {
 	Value []byte
 }
 
+// DefaultWriteChunk is the batch size PutBatchChunked and DeleteBatchChunked
+// use when the caller passes chunk <= 0: large enough to amortize the WAL
+// commit, small enough that readers waiting on the write lock see a bounded
+// pause instead of stalling for the whole bulk operation.
+const DefaultWriteChunk = 128
+
+// PutBatchChunked applies pairs in chunks of at most chunk puts, releasing
+// the store write lock between chunks so concurrent readers interleave with
+// a long bulk load (e.g. a version-store cold fold) instead of stalling
+// behind it. Each chunk is one WAL group commit; a crash mid-way leaves a
+// prefix of the chunks durable, so callers needing all-or-nothing semantics
+// must layer their own watermark on top (the version store does).
+func (s *Store) PutBatchChunked(pairs []KV, chunk int) error {
+	if chunk <= 0 {
+		chunk = DefaultWriteChunk
+	}
+	for len(pairs) > 0 {
+		n := chunk
+		if n > len(pairs) {
+			n = len(pairs)
+		}
+		if err := s.PutBatch(pairs[:n]); err != nil {
+			return err
+		}
+		pairs = pairs[n:]
+	}
+	return nil
+}
+
+// DeleteBatch removes many keys under one WAL commit (group commit).
+// Absent keys are not an error.
+func (s *Store) DeleteBatch(keys [][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("kvstore: store closed")
+	}
+	for _, k := range keys {
+		if err := s.wal.append(walDelete, k, nil); err != nil {
+			return err
+		}
+	}
+	if err := s.commitWAL(); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		removed, err := s.tree.delete(k)
+		if err != nil {
+			return err
+		}
+		if removed {
+			s.count--
+		}
+	}
+	return s.maybeCheckpoint(len(keys))
+}
+
+// DeleteBatchChunked is DeleteBatch with the same bounded-pause chunking as
+// PutBatchChunked.
+func (s *Store) DeleteBatchChunked(keys [][]byte, chunk int) error {
+	if chunk <= 0 {
+		chunk = DefaultWriteChunk
+	}
+	for len(keys) > 0 {
+		n := chunk
+		if n > len(keys) {
+			n = len(keys)
+		}
+		if err := s.DeleteBatch(keys[:n]); err != nil {
+			return err
+		}
+		keys = keys[n:]
+	}
+	return nil
+}
+
 // Get returns a copy of the value for key, or ok=false.
 func (s *Store) Get(key []byte) (value []byte, ok bool, err error) {
 	s.mu.RLock()
@@ -356,6 +432,40 @@ func (s *Store) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error
 	end := prefixEnd(prefix)
 	return s.Scan(prefix, end, fn)
 }
+
+// MaxKV is the largest key+value size one tree entry can hold. Callers
+// storing bigger blobs must split them across entries (the version store's
+// cold tier chunks records into parts for exactly this reason).
+const MaxKV = maxPayload
+
+// ReadView is a read-only handle over a store: the subset of the API that
+// can never mutate the tree, handed to reader subsystems (the version
+// store's cold-tier fallthrough) so a misrouted write is a compile error
+// rather than a latent corruption. Reads through a view take the same
+// shared lock as Store reads — they run concurrently with each other and
+// interleave with chunked bulk writes.
+type ReadView struct {
+	s *Store
+}
+
+// ReadView returns the store's read-only handle.
+func (s *Store) ReadView() *ReadView { return &ReadView{s: s} }
+
+// Get returns a copy of the value for key, or ok=false.
+func (v *ReadView) Get(key []byte) ([]byte, bool, error) { return v.s.Get(key) }
+
+// Scan calls fn for every key in [start, end) in order (see Store.Scan).
+func (v *ReadView) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	return v.s.Scan(start, end, fn)
+}
+
+// ScanPrefix scans all keys beginning with prefix.
+func (v *ReadView) ScanPrefix(prefix []byte, fn func(key, value []byte) bool) error {
+	return v.s.ScanPrefix(prefix, fn)
+}
+
+// Len returns the number of live keys.
+func (v *ReadView) Len() int { return v.s.Len() }
 
 // prefixEnd returns the smallest key greater than every key with the given
 // prefix, or nil if no such key exists (prefix is all 0xff).

@@ -12,7 +12,7 @@ import (
 	"testing/quick"
 )
 
-func openTemp(t *testing.T, opts Options) *Store {
+func openTemp(t testing.TB, opts Options) *Store {
 	t.Helper()
 	dir := t.TempDir()
 	s, err := Open(dir, opts)

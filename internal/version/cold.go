@@ -1,0 +1,842 @@
+package version
+
+// This file is the store's persistent cold tier: the disk half of the
+// fresh → mid → cold tiering described in the package doc. GC folds every
+// layer at or below the pin floor into the owning kvstore B+tree (one
+// keyspace per shard) and splices the folded layers out of the in-memory
+// chains, so RAM holds only the data published since the last fold while
+// the archive's full history lives on disk. Snapshot.Get falls through a
+// missed in-memory chain walk to a read-only kvstore handle.
+//
+// # On-disk layout
+//
+// Everything lives under the prefix the owner passed to Open (so the
+// cold tier coexists with other keyspaces — the engine's RDBMS tables,
+// the text index — in one kvstore):
+//
+//	<prefix>r/<shard:2B><esc(key)>\x00\x00<^epoch:8B><part:2B> → flags ‖ [nparts] ‖ payload
+//	<prefix>m/wm                                              → watermark (8B BE)
+//	<prefix>m/shards                                          → shard count (4B BE)
+//
+// Keys escape 0x00 as 0x00 0xff and terminate with 0x00 0x00, so a
+// prefix scan of one key's "version run" can never bleed into a
+// neighbouring key. ^epoch (bit-complemented, big-endian) makes a run
+// sort newest-first: a reader takes the first version at or below its
+// snapshot epoch and stops. Records larger than one tree entry
+// (kvstore.MaxKV) are split into parts; part 0 carries the part count.
+//
+// # Crash contract
+//
+// A fold writes all of a round's records (chunked, so concurrent readers
+// interleave), then persists the watermark, then splices memory, then
+// deletes superseded versions. The kvstore WAL replays in write order, so
+// a durable watermark implies every record at or below it is durable too.
+// Open purges any record above the persisted watermark — a torn fold
+// leaves a prefix of its records on disk, invisible and reclaimed — and
+// resumes epoch allocation at watermark+1, so a recovered epoch number is
+// never reused. Superseded-version cleanup runs only after the watermark
+// covering the superseding version is durable, and deletes a tombstone
+// only after everything it shadows, so a torn cleanup can never resurrect
+// an old value.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"memex/internal/kvstore"
+)
+
+// MaxColdKeyLen caps key length for stores with a cold tier: the escaped
+// key plus framing must leave room in one kvstore entry for a useful
+// payload part. Batch.Put panics beyond it (loudly, like other Batch
+// misuse) so an oversized key surfaces at publish time, not as a fold
+// error every GC tick forever after.
+const MaxColdKeyLen = 256
+
+const (
+	coldFlagTomb = 1 << 0 // record is a tombstone (no payload)
+
+	// defaultFoldMin is the foldable-entry count below which a periodic
+	// GC leaves data in memory (tiny folds would churn the WAL for no
+	// memory win). Fold and Close always fold everything.
+	defaultFoldMin = 4096
+)
+
+// coldTier is the store's handle on its disk keyspace.
+type coldTier struct {
+	kv     *kvstore.Store    // write side: folds, watermark, cleanup
+	rd     *kvstore.ReadView // read side: snapshot fallthrough
+	prefix []byte
+
+	// wm is the durable fold watermark: every record at or below it is on
+	// disk; nothing above it is visible after recovery.
+	wm atomic.Uint64
+
+	// records counts live part-0 records per shard (logical versions on
+	// disk, superseded versions included until cleanup catches up).
+	records []atomic.Int64
+
+	readErrs atomic.Uint64 // cold reads that failed at the kvstore layer
+	folds    atomic.Uint64 // completed fold rounds
+	foldedN  atomic.Uint64 // in-memory entries folded to disk, cumulative
+
+	// reprobe marks shards whose last fold's splice was abandoned: their
+	// layers stayed in memory, so the next fold re-writes the same
+	// (key, epoch) records — overwrites, not new disk records — and must
+	// probe before counting, or Records would drift upward. Fold-only
+	// state, guarded by foldMu.
+	reprobe []bool
+}
+
+// FoldPoint names a crash-injection point inside a fold, in execution
+// order. Tests install a hook with SetFoldHook to simulate a process
+// killed mid-fold; returning an error aborts the fold exactly there.
+type FoldPoint int
+
+const (
+	// FoldAfterWrite fires after the round's records are written to the
+	// kvstore but before the watermark is persisted (and before the
+	// in-memory splice): a crash here must leave every new record
+	// invisible after recovery.
+	FoldAfterWrite FoldPoint = iota + 1
+	// FoldAfterWatermark fires after the watermark is durable but before
+	// the in-memory splice and superseded-version cleanup: a crash here
+	// must leave every folded record readable after recovery.
+	FoldAfterWatermark
+)
+
+// SetFoldHook installs a failpoint for crash/recovery tests. A nil hook
+// removes it.
+func (s *Store) SetFoldHook(h func(FoldPoint) error) {
+	s.foldMu.Lock()
+	s.foldHook = h
+	s.foldMu.Unlock()
+}
+
+func (s *Store) foldPoint(p FoldPoint) error {
+	if s.foldHook != nil {
+		return s.foldHook(p)
+	}
+	return nil
+}
+
+// Options configures a store opened over a kvstore cold tier.
+type Options struct {
+	// Shards is the shard count for a fresh keyspace (rounded up to a
+	// power of two; <= 0 means DefaultShards). A keyspace that has folded
+	// before remembers its count — key→shard routing must match the keys
+	// already on disk — and overrides this value.
+	Shards int
+	// FoldMinEntries is the foldable-entry count below which periodic GC
+	// keeps data in memory (default 4096). Fold and Close ignore it.
+	FoldMinEntries int
+	// FoldChunk is the number of kvstore records per bulk-write chunk
+	// during a fold (default kvstore.DefaultWriteChunk). Smaller chunks
+	// bound how long concurrent kvstore readers wait on the write lock.
+	FoldChunk int
+}
+
+// Open builds a store whose cold tier lives under prefix in kv, and
+// recovers it: the watermark and shard count are read back, every record
+// above the watermark (a torn fold's leftovers) is purged, and the store
+// resumes publishing at watermark+1. The caller keeps ownership of kv and
+// must close it after the store (Close folds through it).
+func Open(kv *kvstore.Store, prefix string, o Options) (*Store, error) {
+	c := &coldTier{kv: kv, rd: kv.ReadView(), prefix: []byte(prefix)}
+
+	shards := o.Shards
+	if raw, ok, err := kv.Get(c.metaKey("shards")); err != nil {
+		return nil, fmt.Errorf("version: read shard meta: %w", err)
+	} else if ok && len(raw) == 4 {
+		shards = int(binary.BigEndian.Uint32(raw))
+	}
+	s := NewStoreSharded(shards)
+	wm := uint64(0)
+	if raw, ok, err := kv.Get(c.metaKey("wm")); err != nil {
+		return nil, fmt.Errorf("version: read watermark meta: %w", err)
+	} else if ok && len(raw) == 8 {
+		wm = binary.BigEndian.Uint64(raw)
+	}
+	c.wm.Store(wm)
+	c.records = make([]atomic.Int64, s.Shards())
+	c.reprobe = make([]bool, s.Shards())
+
+	// Purge above-watermark leftovers and count what survives. A record
+	// above the watermark can only come from a fold that died before its
+	// watermark write; serving it would leak an epoch the contract says
+	// was lost, and colliding with a reissued epoch number would be worse.
+	var stale [][]byte
+	err := kv.ScanPrefix(c.recPrefix(), func(k, v []byte) bool {
+		shard, _, epoch, part, ok := c.parseRecordKey(k)
+		if !ok {
+			return true // foreign or corrupt key: leave it alone
+		}
+		if epoch > wm {
+			stale = append(stale, append([]byte(nil), k...))
+			return true
+		}
+		if part == 0 && int(shard) < len(c.records) {
+			c.records[shard].Add(1)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("version: recover cold tier: %w", err)
+	}
+	if len(stale) > 0 {
+		if err := kv.DeleteBatchChunked(stale, o.FoldChunk); err != nil {
+			return nil, fmt.Errorf("version: purge torn fold: %w", err)
+		}
+	}
+
+	s.cold = c
+	s.foldMin = o.FoldMinEntries
+	if s.foldMin <= 0 {
+		s.foldMin = defaultFoldMin
+	}
+	s.foldChunk = o.FoldChunk
+
+	// Resume: new snapshots pin the recovered watermark, and epoch
+	// allocation restarts above it so no recovered record's epoch is ever
+	// reissued to a new batch.
+	s.mu.Lock()
+	st := &state{watermark: wm, shards: make([]shard, s.Shards())}
+	s.current.Store(st)
+	s.history = []*state{st}
+	s.nextEpoch = wm + 1
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Close folds everything at or below the pin floor to the cold tier so a
+// graceful shutdown loses nothing (a crash loses only what was published
+// after the last fold). The kvstore stays open — the owner closes it.
+// No-op for purely in-memory stores.
+func (s *Store) Close() error {
+	if s.cold == nil {
+		return nil
+	}
+	_, err := s.Fold()
+	return err
+}
+
+// --- key codec ---
+
+func (c *coldTier) metaKey(name string) []byte {
+	k := make([]byte, 0, len(c.prefix)+2+len(name))
+	k = append(k, c.prefix...)
+	k = append(k, "m/"...)
+	return append(k, name...)
+}
+
+// recPrefix is the prefix of every record key.
+func (c *coldTier) recPrefix() []byte {
+	k := make([]byte, 0, len(c.prefix)+2)
+	k = append(k, c.prefix...)
+	return append(k, "r/"...)
+}
+
+// shardPrefix is the prefix of one shard's keyspace.
+func (c *coldTier) shardPrefix(shard uint32) []byte {
+	k := c.recPrefix()
+	return binary.BigEndian.AppendUint16(k, uint16(shard))
+}
+
+// runPrefix is the prefix of one key's version run inside its shard.
+func (c *coldTier) runPrefix(shard uint32, key string) []byte {
+	k := c.shardPrefix(shard)
+	k = appendEscaped(k, key)
+	return append(k, 0x00, 0x00)
+}
+
+// recordKey is one part's full key.
+func (c *coldTier) recordKey(shard uint32, key string, epoch uint64, part uint16) []byte {
+	k := c.runPrefix(shard, key)
+	k = binary.BigEndian.AppendUint64(k, ^epoch)
+	return binary.BigEndian.AppendUint16(k, part)
+}
+
+// appendEscaped appends key with 0x00 escaped as 0x00 0xff, so the
+// 0x00 0x00 run terminator can never occur inside an escaped key.
+func appendEscaped(dst []byte, key string) []byte {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0x00 {
+			dst = append(dst, 0x00, 0xff)
+		} else {
+			dst = append(dst, key[i])
+		}
+	}
+	return dst
+}
+
+// parseRecordKey decodes a full record key back into its parts.
+func (c *coldTier) parseRecordKey(k []byte) (shard uint32, key string, epoch uint64, part uint16, ok bool) {
+	rest := k[len(c.recPrefix()):]
+	if len(rest) < 2+2+8+2 {
+		return 0, "", 0, 0, false
+	}
+	shard = uint32(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	// Find the 0x00 0x00 terminator; 0x00 inside the key is always
+	// followed by 0xff.
+	term := -1
+	for i := 0; i+1 < len(rest); i++ {
+		if rest[i] == 0x00 {
+			if rest[i+1] == 0x00 {
+				term = i
+				break
+			}
+			i++ // skip the 0xff escape byte
+		}
+	}
+	if term < 0 || len(rest)-(term+2) != 8+2 {
+		return 0, "", 0, 0, false
+	}
+	raw := rest[:term]
+	buf := make([]byte, 0, len(raw))
+	for i := 0; i < len(raw); i++ {
+		if raw[i] == 0x00 {
+			buf = append(buf, 0x00)
+			i++ // consume the 0xff
+		} else {
+			buf = append(buf, raw[i])
+		}
+	}
+	epoch = ^binary.BigEndian.Uint64(rest[term+2:])
+	part = binary.BigEndian.Uint16(rest[term+2+8:])
+	return shard, string(buf), epoch, part, true
+}
+
+// partPayload returns how many payload bytes fit in one part of this
+// key's records (the kvstore caps key+value per entry).
+func (c *coldTier) partPayload(key string) int {
+	// Worst-case escaped key doubles; framing = prefix + shard + term +
+	// ^epoch + part; value head = flags + max uvarint part count.
+	overhead := len(c.prefix) + 2 + 2 + 2*len(key) + 2 + 8 + 2 + 1 + binary.MaxVarintLen32
+	return kvstore.MaxKV - overhead
+}
+
+// appendRecord encodes one logical record (possibly multi-part) onto dst.
+func (c *coldTier) appendRecord(dst []kvstore.KV, shard uint32, key string, epoch uint64, e entry) ([]kvstore.KV, error) {
+	if e.deleted {
+		return append(dst, kvstore.KV{
+			Key:   c.recordKey(shard, key, epoch, 0),
+			Value: []byte{coldFlagTomb, 1},
+		}), nil
+	}
+	per := c.partPayload(key)
+	if per <= 0 {
+		return dst, fmt.Errorf("version: key %q too long for cold tier", key)
+	}
+	nparts := (len(e.value) + per - 1) / per
+	if nparts == 0 {
+		nparts = 1
+	}
+	if nparts > 1<<16-1 {
+		return dst, fmt.Errorf("version: value for %q too large for cold tier (%d bytes)", key, len(e.value))
+	}
+	head := make([]byte, 0, 1+binary.MaxVarintLen32)
+	head = append(head, 0)
+	head = binary.AppendUvarint(head, uint64(nparts))
+	for p := 0; p < nparts; p++ {
+		lo, hi := p*per, (p+1)*per
+		if hi > len(e.value) {
+			hi = len(e.value)
+		}
+		var val []byte
+		if p == 0 {
+			val = append(append([]byte(nil), head...), e.value[lo:hi]...)
+		} else {
+			val = append([]byte(nil), e.value[lo:hi]...)
+		}
+		dst = append(dst, kvstore.KV{Key: c.recordKey(shard, key, epoch, uint16(p)), Value: val})
+	}
+	return dst, nil
+}
+
+// --- read path ---
+
+// get returns the newest cold value for key with epoch <= max. It runs on
+// the snapshot read path: one short prefix scan of the key's version run,
+// through the read-only kvstore handle. kvstore-level failures count as a
+// miss (and are surfaced in Stats.Cold.ReadErrors) — the versioning layer
+// has no error channel on Get, and a miss degrades to a refetch upstream.
+func (c *coldTier) get(shard uint32, key string, max uint64) ([]byte, bool) {
+	var (
+		val      []byte
+		found    bool
+		done     bool
+		tomb     bool
+		want     uint64
+		need     int
+		lastPart = -1
+	)
+	err := c.rd.ScanPrefix(c.runPrefix(shard, key), func(k, v []byte) bool {
+		_, _, epoch, part, ok := c.parseRecordKey(k)
+		if !ok {
+			return true
+		}
+		if found && (epoch != want || int(part) != lastPart+1) {
+			// Torn multi-part record (cannot happen for a version at or
+			// below the durable watermark — see the crash contract — but
+			// degrade to the next older version rather than a false miss).
+			val, found = nil, false
+		}
+		if !found {
+			if epoch > max || part != 0 || len(v) < 1 {
+				return true // above the snapshot, or a torn run's stray part
+			}
+			if v[0]&coldFlagTomb != 0 {
+				tomb, done = true, true
+				return false
+			}
+			n, w := binary.Uvarint(v[1:])
+			if w <= 0 {
+				return true
+			}
+			found, want, need, lastPart = true, epoch, int(n), 0
+			val = append(val, v[1+w:]...)
+			done = need == 1
+			return !done
+		}
+		// Collect this version's remaining parts (adjacent in the run).
+		lastPart = int(part)
+		val = append(val, v...)
+		done = lastPart+1 == need
+		return !done
+	})
+	if err != nil {
+		c.readErrs.Add(1)
+		return nil, false
+	}
+	if tomb || !found || !done {
+		return nil, false
+	}
+	return val, true
+}
+
+// scanShard walks one shard's keyspace yielding each key's newest live
+// record at or below max (tombstoned and above-max versions are skipped,
+// multi-part values reassembled). fn returning false stops the scan.
+func (c *coldTier) scanShard(shard uint32, max uint64, fn func(key string, value []byte) bool) error {
+	var (
+		curKey   string
+		started  bool
+		done     bool // emitted (or tombstoned) the current key already
+		val      []byte
+		have     bool
+		need     int
+		want     uint64
+		lastPart int
+	)
+	emit := func() bool {
+		if !have || lastPart+1 != need {
+			have = false
+			return true
+		}
+		have = false
+		return fn(curKey, val)
+	}
+	err := c.rd.ScanPrefix(c.shardPrefix(shard), func(k, v []byte) bool {
+		_, key, epoch, part, ok := c.parseRecordKey(k)
+		if !ok {
+			return true
+		}
+		if !started || key != curKey {
+			if started && have {
+				if !emit() {
+					return false
+				}
+			}
+			curKey, started, done, have = key, true, false, false
+		}
+		if done {
+			return true
+		}
+		if have && (epoch != want || int(part) != lastPart+1) {
+			have = false // torn record: fall through to older versions
+		}
+		if !have {
+			if epoch > max || part != 0 || len(v) < 1 {
+				return true
+			}
+			if v[0]&coldFlagTomb != 0 {
+				done = true
+				return true
+			}
+			n, w := binary.Uvarint(v[1:])
+			if w <= 0 {
+				return true
+			}
+			have, want, need, lastPart = true, epoch, int(n), 0
+			val = append([]byte(nil), v[1+w:]...)
+			if need == 1 {
+				done = true
+				return emit()
+			}
+			return true
+		}
+		lastPart = int(part)
+		val = append(val, v...)
+		if lastPart+1 == need {
+			done = true
+			return emit()
+		}
+		return true
+	})
+	if err != nil {
+		c.readErrs.Add(1)
+		return err
+	}
+	if started && have {
+		emit()
+	}
+	return nil
+}
+
+// --- fold ---
+
+// Fold folds every shard's layers at or below the pin floor into the cold
+// tier and splices them out of the in-memory chains, returning the number
+// of in-memory entries moved to disk. It is the cold-tier analogue of GC:
+// safe to run concurrently with Publish and snapshot reads (pinned
+// snapshots keep their captured chains, and everything folded is at or
+// below every pin by construction). Concurrent folds serialise.
+func (s *Store) Fold() (int, error) {
+	if s.cold == nil {
+		return 0, fmt.Errorf("version: store has no cold tier")
+	}
+	return s.fold()
+}
+
+// foldableEntries counts the in-memory entries a fold at the current pin
+// floor would move to disk (GC's "is a fold worthwhile yet" check).
+func (s *Store) foldableEntries() int {
+	s.mu.Lock()
+	cur := s.current.Load()
+	floor := s.pinFloorLocked(cur)
+	s.mu.Unlock()
+	n := 0
+	for i := range cur.shards {
+		for l := splitAt(cur.shards[i].head, floor); l != nil; l = l.next {
+			n += len(l.entries)
+		}
+	}
+	return n
+}
+
+// coldRec is one merged record bound for disk.
+type coldRec struct {
+	e     entry
+	epoch uint64
+}
+
+func (s *Store) fold() (int, error) {
+	c := s.cold
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+
+	s.mu.Lock()
+	cur := s.current.Load()
+	floor := s.pinFloorLocked(cur)
+	s.mu.Unlock()
+	wm := c.wm.Load()
+	// Nothing new below the floor since the last fold — unless a prior
+	// round's splice was abandoned: those shards' layers are durable but
+	// still resident, and with idle ingest the floor never advances, so
+	// without a retry here they would stay in RAM forever.
+	retry := false
+	for i := range c.reprobe {
+		if c.reprobe[i] {
+			retry = true
+			break
+		}
+	}
+	if floor <= wm && !retry {
+		return 0, nil
+	}
+
+	// Merge each shard's foldable sub-chain newest-first (first write
+	// wins), entirely outside any lock — the sub-chain at or below the
+	// floor is immutable, and no new layer can appear below the floor
+	// (epochs still publishing are all above the watermark ≥ floor).
+	n := s.Shards()
+	heads := make([]*layer, n)
+	merged := make([]map[string]coldRec, n)
+	resident := make([]int, n) // in-memory entry count of each folded sub-chain
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		heads[i] = splitAt(cur.shards[i].head, floor)
+		if heads[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := make(map[string]coldRec)
+			for l := heads[i]; l != nil; l = l.next {
+				resident[i] += len(l.entries)
+				for k, e := range l.entries {
+					if _, ok := m[k]; !ok {
+						m[k] = coldRec{e: e, epoch: l.epoch}
+					}
+				}
+			}
+			merged[i] = m
+		}(i)
+	}
+	wg.Wait()
+
+	// Write the round's records, chunked so concurrent kvstore readers
+	// (cold fallthroughs, the engine's RDBMS) interleave between chunks.
+	// A record only counts toward the shard's disk total when it is new:
+	// after an abandoned splice the same (key, epoch) records fold again
+	// as pure overwrites, so those shards probe before counting.
+	var pairs []kvstore.KV
+	written := make([]int64, n)
+	for i, m := range merged {
+		for k, r := range m {
+			var err error
+			pairs, err = c.appendRecord(pairs, uint32(i), k, r.epoch, r.e)
+			if err != nil {
+				return 0, err
+			}
+			if !c.reprobe[i] || !c.recordExists(uint32(i), k, r.epoch) {
+				written[i]++
+			}
+		}
+	}
+	if err := c.kv.PutBatchChunked(pairs, s.foldChunk); err != nil {
+		return 0, err
+	}
+	if err := s.foldPoint(FoldAfterWrite); err != nil {
+		return 0, err
+	}
+
+	// Persist shard count (idempotent) and the new watermark. The
+	// watermark write is the fold's commit point: it follows every record
+	// in WAL order, so "watermark durable" implies "records durable". A
+	// retry round at an unchanged floor re-wrote only already-durable
+	// records, so it has nothing to commit.
+	if floor > wm {
+		var meta [8]byte
+		binary.BigEndian.PutUint64(meta[:], floor)
+		var shardsMeta [4]byte
+		binary.BigEndian.PutUint32(shardsMeta[:], uint32(n))
+		if err := c.kv.PutBatch([]kvstore.KV{
+			{Key: c.metaKey("shards"), Value: shardsMeta[:]},
+			{Key: c.metaKey("wm"), Value: meta[:]},
+		}); err != nil {
+			return 0, err
+		}
+		c.wm.Store(floor)
+		if err := s.foldPoint(FoldAfterWatermark); err != nil {
+			return 0, err
+		}
+	}
+
+	// Splice the folded layers out of each chain. Per-shard
+	// abandon-on-conflict, exactly like GC: if the Publish backstop
+	// replaced a sub-chain while we folded, that shard keeps its memory
+	// until the next round — its records are on disk either way, and the
+	// in-memory chain shadows them, so dropping the splice is always safe.
+	// Only spliced shards count toward the reclaimed/folded totals: an
+	// abandoned shard's entries are still resident and will be counted by
+	// the round that finally reclaims them.
+	reclaimed := 0
+	s.mu.Lock()
+	cur2 := s.current.Load()
+	shards := make([]shard, len(cur2.shards))
+	copy(shards, cur2.shards)
+	for i := range shards {
+		if heads[i] == nil {
+			continue
+		}
+		if splitAt(cur2.shards[i].head, floor) != heads[i] {
+			c.reprobe[i] = true // layers stay in memory; next fold re-writes them
+			continue
+		}
+		head, spine := spliceAbove(cur2.shards[i].head, heads[i], nil)
+		shards[i] = shard{head: head, depth: spine}
+		c.reprobe[i] = false
+		reclaimed += resident[i]
+	}
+	if reclaimed > 0 {
+		next := &state{watermark: cur2.watermark, shards: shards}
+		s.current.Store(next)
+		s.history = append(s.history, next)
+		s.gcReclaimed += uint64(reclaimed)
+	}
+	s.mu.Unlock()
+
+	for i := range written {
+		c.records[i].Add(written[i])
+	}
+	c.folds.Add(1)
+	c.foldedN.Add(uint64(reclaimed))
+
+	// Reclaim superseded disk versions. Safe only now: the watermark
+	// covering the new versions is durable, so deleting what they shadow
+	// can never lose the newest-at-or-below-watermark value, even torn.
+	s.cleanupSuperseded(merged)
+	return reclaimed, nil
+}
+
+// recordExists reports whether the (key, epoch) record's first part is
+// already on disk (used only on the abandoned-splice re-fold path).
+func (c *coldTier) recordExists(shard uint32, key string, epoch uint64) bool {
+	_, ok, err := c.rd.Get(c.recordKey(shard, key, epoch, 0))
+	return err == nil && ok
+}
+
+// cleanupSuperseded deletes, for every key a fold just rewrote, all older
+// disk versions — and, when the newest surviving version is a tombstone,
+// the tombstone itself (nothing is left for it to shadow). Failures are
+// ignored: leftover versions are invisible behind newer ones and the next
+// fold of the key retries.
+func (s *Store) cleanupSuperseded(merged []map[string]coldRec) {
+	c := s.cold
+	var dead [][]byte
+	freed := make([]int64, len(merged))
+	for i, m := range merged {
+		for k, r := range m {
+			var tombRun [][]byte
+			c.rd.ScanPrefix(c.runPrefix(uint32(i), k), func(key, _ []byte) bool {
+				_, _, epoch, part, ok := c.parseRecordKey(key)
+				if !ok {
+					return true
+				}
+				switch {
+				case epoch < r.epoch:
+					dead = append(dead, append([]byte(nil), key...))
+					if part == 0 {
+						freed[i]++
+					}
+				case epoch == r.epoch && r.e.deleted:
+					// The key's entire surviving run is this tombstone;
+					// delete it last so a torn batch still shadows.
+					tombRun = append(tombRun, append([]byte(nil), key...))
+					if part == 0 {
+						freed[i]++
+					}
+				}
+				return true
+			})
+			dead = append(dead, tombRun...)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	if err := c.kv.DeleteBatchChunked(dead, s.foldChunk); err != nil {
+		return
+	}
+	for i := range freed {
+		c.records[i].Add(-freed[i])
+	}
+}
+
+// ColdStats summarises the disk tier.
+type ColdStats struct {
+	// Watermark is the durable fold watermark: every epoch at or below it
+	// survives a crash.
+	Watermark uint64
+	// Records is the number of record versions on disk (superseded
+	// versions included until cleanup reclaims them).
+	Records int64
+	// Shards is the per-shard record count.
+	Shards []int64
+	// Folds counts completed fold rounds; FoldedEntries is the cumulative
+	// number of in-memory entries moved to disk.
+	Folds         uint64
+	FoldedEntries uint64
+	// ReadErrors counts cold reads that failed at the kvstore layer (each
+	// degraded to a miss).
+	ReadErrors uint64
+}
+
+func (c *coldTier) stats() *ColdStats {
+	st := &ColdStats{
+		Watermark:     c.wm.Load(),
+		Folds:         c.folds.Load(),
+		FoldedEntries: c.foldedN.Load(),
+		ReadErrors:    c.readErrs.Load(),
+		Shards:        make([]int64, len(c.records)),
+	}
+	for i := range c.records {
+		n := c.records[i].Load()
+		st.Shards[i] = n
+		st.Records += n
+	}
+	return st
+}
+
+// ColdRecords reports the number of live record versions on disk (0 for a
+// purely in-memory store).
+func (s *Store) ColdRecords() int64 {
+	if s.cold == nil {
+		return 0
+	}
+	var n int64
+	for i := range s.cold.records {
+		n += s.cold.records[i].Load()
+	}
+	return n
+}
+
+// Range calls fn for every live key visible in the snapshot with its
+// value, in-memory or cold, in unspecified order; each key is yielded
+// exactly once (the newest version at or below the snapshot epoch wins).
+// fn returning false stops the walk. It panics if the snapshot was
+// released.
+func (sn *Snapshot) Range(fn func(key string, value []byte) bool) {
+	st := sn.view("Range")
+	for i := range st.shards {
+		seen := make(map[string]bool)
+		stopped := false
+		for l := st.shards[i].head; l != nil; l = l.next {
+			if l.epoch > st.watermark {
+				continue
+			}
+			for k, e := range l.entries {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if !e.deleted {
+					if !fn(k, e.value) {
+						return
+					}
+				}
+			}
+		}
+		if c := sn.s.cold; c != nil {
+			c.scanShard(uint32(i), sn.epoch, func(k string, v []byte) bool {
+				if seen[k] {
+					return true
+				}
+				if !fn(k, v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+		}
+	}
+}
+
+// coldKeys appends the shard's live cold keys not shadowed by seen.
+func (sn *Snapshot) coldKeys(shard uint32, seen map[string]bool, keys []string) []string {
+	sn.s.cold.scanShard(shard, sn.epoch, func(k string, _ []byte) bool {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+		return true
+	})
+	return keys
+}

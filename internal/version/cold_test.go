@@ -1,0 +1,638 @@
+package version
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memex/internal/kvstore"
+)
+
+// openKV opens the test kvstore for dir (SyncNever: the crash model under
+// test is the version layer's watermark contract, not fsync behaviour —
+// kvstore's own WAL tests cover torn files).
+func openKV(t *testing.T, dir string) *kvstore.Store {
+	t.Helper()
+	kv, err := kvstore.Open(filepath.Join(dir, "kv"), kvstore.Options{Sync: kvstore.SyncNever})
+	if err != nil {
+		t.Fatalf("kvstore.Open: %v", err)
+	}
+	return kv
+}
+
+func openCold(t *testing.T, kv *kvstore.Store, o Options) *Store {
+	t.Helper()
+	s, err := Open(kv, "vc/", o)
+	if err != nil {
+		t.Fatalf("version.Open: %v", err)
+	}
+	return s
+}
+
+// publishKV publishes one batch of key→value pairs and returns its epoch.
+func publishKV(t *testing.T, s *Store, kvs map[string]string) uint64 {
+	t.Helper()
+	b := s.Begin()
+	for k, v := range kvs {
+		b.Put(k, []byte(v))
+	}
+	e := b.Epoch()
+	if err := b.Publish(); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	return e
+}
+
+func TestColdFoldAndFallthrough(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 4})
+
+	for i := 0; i < 100; i++ {
+		publishKV(t, s, map[string]string{fmt.Sprintf("k%03d", i): fmt.Sprintf("v%03d", i)})
+	}
+	// Overwrite a few and tombstone a few before folding.
+	publishKV(t, s, map[string]string{"k007": "v007-new"})
+	b := s.Begin()
+	b.Delete("k009")
+	if err := b.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := s.Fold()
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("Fold moved nothing")
+	}
+	if got := s.VersionCount(); got != 0 {
+		t.Fatalf("in-memory versions after full fold = %d, want 0", got)
+	}
+	if s.ColdRecords() == 0 {
+		t.Fatal("no cold records after fold")
+	}
+
+	sn := s.Acquire()
+	defer sn.Release()
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		want := fmt.Sprintf("v%03d", i)
+		if i == 7 {
+			want = "v007-new"
+		}
+		v, ok := sn.Get(key)
+		if i == 9 {
+			if ok {
+				t.Fatalf("tombstoned %s resurfaced from cold tier", key)
+			}
+			continue
+		}
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q,%v after fold, want %q", key, v, ok, want)
+		}
+	}
+	// Superseded version and dead tombstone reclaimed on disk: 100 keys
+	// minus the tombstoned one.
+	if got := s.ColdRecords(); got != 99 {
+		t.Fatalf("cold records after cleanup = %d, want 99", got)
+	}
+}
+
+// TestColdHotShadowsCold: an in-memory write (including a tombstone) for
+// a key that already lives on disk must win for every new snapshot.
+func TestColdHotShadowsCold(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 2})
+
+	publishKV(t, s, map[string]string{"a": "old", "b": "keep"})
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	publishKV(t, s, map[string]string{"a": "new"})
+	b := s.Begin()
+	b.Delete("b")
+	if err := b.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	sn := s.Acquire()
+	if v, ok := sn.Get("a"); !ok || string(v) != "new" {
+		t.Fatalf("Get(a) = %q,%v, want fresh in-memory value", v, ok)
+	}
+	if _, ok := sn.Get("b"); ok {
+		t.Fatal("in-memory tombstone failed to shadow cold record")
+	}
+	keys := sn.Keys()
+	if fmt.Sprint(keys) != "[a]" {
+		t.Fatalf("Keys = %v, want [a]", keys)
+	}
+	sn.Release()
+
+	// And the shadowing must survive the next fold + a restart.
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openCold(t, kv, Options{})
+	sn2 := s2.Acquire()
+	defer sn2.Release()
+	if v, ok := sn2.Get("a"); !ok || string(v) != "new" {
+		t.Fatalf("after restart Get(a) = %q,%v", v, ok)
+	}
+	if _, ok := sn2.Get("b"); ok {
+		t.Fatal("tombstoned key resurrected by restart")
+	}
+}
+
+// TestCrashRecoveryMidFold is the ISSUE 3 crash test: kill the store
+// mid-fold at each failpoint, reopen, and assert that every published
+// epoch at or below the recovered watermark is readable and that no epoch
+// above the watermark leaks.
+func TestCrashRecoveryMidFold(t *testing.T) {
+	errCrash := errors.New("injected crash")
+	for _, point := range []FoldPoint{FoldAfterWrite, FoldAfterWatermark} {
+		t.Run(fmt.Sprintf("point=%d", point), func(t *testing.T) {
+			dir := t.TempDir()
+			kv := openKV(t, dir)
+			defer kv.Close()
+			s := openCold(t, kv, Options{Shards: 4})
+
+			// Round 1: establish a durable base, including a key the
+			// crashed fold will later overwrite — the overwrite's partial
+			// records must not destroy the durable old version.
+			model := map[string]string{}
+			for i := 0; i < 40; i++ {
+				k, v := fmt.Sprintf("k%02d", i), fmt.Sprintf("r1-%02d", i)
+				publishKV(t, s, map[string]string{k: v})
+				model[k] = v
+			}
+			if _, err := s.Fold(); err != nil {
+				t.Fatal(err)
+			}
+			wm1 := s.Watermark()
+
+			// Round 2: more publishes (overwrites and news), then a fold
+			// that dies at the injected point.
+			round2 := map[string]string{}
+			for i := 0; i < 40; i++ {
+				k, v := fmt.Sprintf("k%02d", i*2), fmt.Sprintf("r2-%02d", i*2)
+				publishKV(t, s, map[string]string{k: v})
+				round2[k] = v
+			}
+			wm2 := s.Watermark()
+			s.SetFoldHook(func(p FoldPoint) error {
+				if p == point {
+					return errCrash
+				}
+				return nil
+			})
+			if _, err := s.Fold(); !errors.Is(err, errCrash) {
+				t.Fatalf("Fold error = %v, want injected crash", err)
+			}
+			// The process dies here: drop s on the floor, reopen the
+			// keyspace. (kv survives — the kvstore's own WAL-replay tests
+			// cover torn files; this test pins the version layer's
+			// watermark contract over whatever subset of writes survived.)
+			s2 := openCold(t, kv, Options{})
+
+			wantWM := wm1
+			if point == FoldAfterWatermark {
+				wantWM = wm2
+				// The watermark committed, so round 2 is durable.
+				for k, v := range round2 {
+					model[k] = v
+				}
+			}
+			if got := s2.Watermark(); got != wantWM {
+				t.Fatalf("recovered watermark = %d, want %d", got, wantWM)
+			}
+
+			sn := s2.Acquire()
+			for k, v := range model {
+				got, ok := sn.Get(k)
+				if !ok || string(got) != v {
+					t.Fatalf("epoch ≤ watermark lost: Get(%s) = %q,%v, want %q", k, got, ok, v)
+				}
+			}
+			if point == FoldAfterWrite {
+				// No epoch above the watermark may leak: the torn fold's
+				// records were purged, so every key reads as round 1.
+				for k := range round2 {
+					got, ok := sn.Get(k)
+					if want, existed := model[k]; existed {
+						if !ok || string(got) != want {
+							t.Fatalf("Get(%s) = %q,%v, want durable %q", k, got, ok, want)
+						}
+					} else if ok {
+						t.Fatalf("epoch > watermark leaked: Get(%s) = %q", k, got)
+					}
+				}
+				// And nothing above the watermark survives on disk either.
+				kv.ScanPrefix([]byte("vc/r/"), func(k, _ []byte) bool {
+					_, key, epoch, _, ok := s2.cold.parseRecordKey(k)
+					if ok && epoch > wantWM {
+						t.Errorf("stale record %q at epoch %d > watermark %d", key, epoch, wantWM)
+					}
+					return true
+				})
+			}
+
+			// Release the verification pin — a pinned snapshot would
+			// (correctly) hold the next fold's floor at the old watermark.
+			sn.Release()
+
+			// Life goes on: epochs resume above the watermark, publish and
+			// fold work, and a clean restart sees everything.
+			b := s2.Begin()
+			if b.Epoch() != wantWM+1 {
+				t.Fatalf("resumed epoch = %d, want %d", b.Epoch(), wantWM+1)
+			}
+			b.Put("post", []byte("crash"))
+			if err := b.Publish(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s2.Fold(); err != nil {
+				t.Fatalf("Fold after recovery: %v", err)
+			}
+			s3 := openCold(t, kv, Options{})
+			sn3 := s3.Acquire()
+			defer sn3.Release()
+			if v, ok := sn3.Get("post"); !ok || string(v) != "crash" {
+				t.Fatalf("post-recovery publish lost: %q,%v", v, ok)
+			}
+		})
+	}
+}
+
+// TestColdRecordsSurviveAbandonedSplice: when an in-memory compaction
+// replaces a shard's sub-chain while a fold is writing (the
+// abandon-on-conflict path), the layers stay in memory and the next fold
+// re-writes records it already wrote — some at identical epochs. Reads
+// must stay correct and the Records stat must match the physical record
+// count on disk, not drift upward with every re-fold.
+func TestColdRecordsSurviveAbandonedSplice(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 2})
+
+	model := map[string]string{}
+	for i := 0; i < 20; i++ {
+		k, v := fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i)
+		publishKV(t, s, map[string]string{k: v})
+		model[k] = v
+	}
+	// Last batch carries several keys, so after the conflicting merge
+	// those entries keep their epoch — the exact-overwrite case.
+	last := map[string]string{}
+	for i := 20; i < 25; i++ {
+		last[fmt.Sprintf("k%02d", i)] = fmt.Sprintf("v%02d", i)
+	}
+	publishKV(t, s, last)
+	for k, v := range last {
+		model[k] = v
+	}
+
+	// While the fold is mid-flight (records written, watermark durable,
+	// splice not yet attempted), compact every shard in memory: the
+	// sub-chains change under the fold, so its splice is abandoned and
+	// every layer stays resident for the next round.
+	s.SetFoldHook(func(p FoldPoint) error {
+		if p == FoldAfterWatermark {
+			for i := 0; i < s.Shards(); i++ {
+				s.GCShard(i)
+			}
+		}
+		return nil
+	})
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFoldHook(nil)
+
+	// The abandoned shards' layers are durable but still resident. With
+	// ingest idle the floor cannot advance, yet the very next fold must
+	// retry the splice and reclaim the memory — not no-op forever.
+	if s.VersionCount() == 0 {
+		t.Fatal("test setup: splice was not abandoned")
+	}
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.VersionCount(); got != 0 {
+		t.Fatalf("%d entries still resident after idle-floor retry fold", got)
+	}
+
+	// Publish once more (the fold floor advances) and re-fold twice.
+	publishKV(t, s, map[string]string{"extra": "x"})
+	model["extra"] = "x"
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	publishKV(t, s, map[string]string{"extra2": "y"})
+	model["extra2"] = "y"
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+
+	sn := s.Acquire()
+	defer sn.Release()
+	for k, v := range model {
+		if got, ok := sn.Get(k); !ok || string(got) != v {
+			t.Fatalf("Get(%s) = %q,%v after abandoned-splice churn, want %q", k, got, ok, v)
+		}
+	}
+	// The stat must agree with a physical recount of part-0 records.
+	physical := int64(0)
+	kv.ScanPrefix([]byte("vc/r/"), func(k, _ []byte) bool {
+		if _, _, _, part, ok := s.cold.parseRecordKey(k); ok && part == 0 {
+			physical++
+		}
+		return true
+	})
+	if got := s.ColdRecords(); got != physical {
+		t.Fatalf("ColdRecords = %d, physical part-0 records = %d: stat drifted", got, physical)
+	}
+}
+
+// TestColdPinBlocksFold: the fold floor respects pinned snapshots, so a
+// pinned epoch's view can never be folded out from under it half-way.
+func TestColdPinBlocksFold(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 2})
+
+	publishKV(t, s, map[string]string{"x": "1"})
+	sn := s.Acquire()
+	publishKV(t, s, map[string]string{"x": "2"})
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	if wm := s.StoreStats().Cold.Watermark; wm != sn.Epoch() {
+		t.Fatalf("fold watermark = %d, want pin floor %d", wm, sn.Epoch())
+	}
+	if v, _ := sn.Get("x"); string(v) != "1" {
+		t.Fatalf("pinned snapshot read %q mid-fold, want 1", v)
+	}
+	sn.Release()
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	if wm := s.StoreStats().Cold.Watermark; wm != s.Watermark() {
+		t.Fatalf("post-release fold watermark = %d, want %d", wm, s.Watermark())
+	}
+	sn2 := s.Acquire()
+	defer sn2.Release()
+	if v, _ := sn2.Get("x"); string(v) != "2" {
+		t.Fatalf("Get(x) = %q after folds, want 2", v)
+	}
+}
+
+// TestColdMultiPartValues: values beyond one kvstore entry round-trip
+// through fold, fallthrough reads, cleanup, and restart.
+func TestColdMultiPartValues(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 2})
+
+	sizes := []int{0, 1, 100, 900, 1024, 5000, 40000}
+	want := map[string][]byte{}
+	for _, n := range sizes {
+		val := bytes.Repeat([]byte{byte(n % 251)}, n)
+		for i := range val {
+			val[i] = byte(i * 31)
+		}
+		key := fmt.Sprintf("blob-%d", n)
+		b := s.Begin()
+		b.Put(key, val)
+		if err := b.Publish(); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	check := func(s *Store, when string) {
+		sn := s.Acquire()
+		defer sn.Release()
+		for k, v := range want {
+			got, ok := sn.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				t.Fatalf("%s: Get(%s) lost a %d-byte value (ok=%v got %d bytes)", when, k, len(v), ok, len(got))
+			}
+		}
+	}
+	check(s, "after fold")
+
+	// Overwrite the big ones and fold again: cleanup must drop every old
+	// part without corrupting the new version.
+	for _, n := range []int{5000, 40000} {
+		key := fmt.Sprintf("blob-%d", n)
+		val := bytes.Repeat([]byte("New"), n/3+1)[:n]
+		b := s.Begin()
+		b.Put(key, val)
+		if err := b.Publish(); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	check(s, "after overwrite fold")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openCold(t, kv, Options{})
+	check(s2, "after restart")
+	if got, want := s2.ColdRecords(), int64(len(sizes)); got != want {
+		t.Fatalf("cold records = %d, want %d (one logical version per key)", got, want)
+	}
+}
+
+// TestColdShardCountPinnedByKeyspace: the on-disk keyspace remembers its
+// shard routing; a reopen asking for a different count keeps the
+// persisted one (otherwise key→shard hashes would miss every record).
+func TestColdShardCountPinnedByKeyspace(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 8})
+	publishKV(t, s, map[string]string{"a": "1", "b": "2", "c": "3"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openCold(t, kv, Options{Shards: 2})
+	if got := s2.Shards(); got != 8 {
+		t.Fatalf("reopened shard count = %d, want persisted 8", got)
+	}
+	sn := s2.Acquire()
+	defer sn.Release()
+	for k, v := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		if got, ok := sn.Get(k); !ok || string(got) != v {
+			t.Fatalf("Get(%s) = %q,%v after reopen", k, got, ok)
+		}
+	}
+}
+
+// TestColdRangeUnion: Range yields each live key exactly once across both
+// tiers, newest version winning, stopping early on demand.
+func TestColdRangeUnion(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 4})
+
+	publishKV(t, s, map[string]string{"cold-only": "c", "both": "old", "dead": "x"})
+	if _, err := s.Fold(); err != nil {
+		t.Fatal(err)
+	}
+	publishKV(t, s, map[string]string{"both": "new", "hot-only": "h"})
+	b := s.Begin()
+	b.Delete("dead")
+	if err := b.Publish(); err != nil {
+		t.Fatal(err)
+	}
+
+	sn := s.Acquire()
+	defer sn.Release()
+	got := map[string]string{}
+	sn.Range(func(k string, v []byte) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("Range yielded %q twice", k)
+		}
+		got[k] = string(v)
+		return true
+	})
+	want := map[string]string{"cold-only": "c", "both": "new", "hot-only": "h"}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	n := 0
+	sn.Range(func(string, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stopped Range visited %d keys, want 1", n)
+	}
+}
+
+// TestFoldBoundsMemory is the deterministic half of the ISSUE 3
+// acceptance: ingesting 10× the fold threshold with periodic GC keeps the
+// in-memory tier bounded near the threshold while every record stays
+// readable, and a restart recovers the full keyspace with zero lost
+// epochs.
+func TestFoldBoundsMemory(t *testing.T) {
+	const threshold = 512
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 4, FoldMinEntries: threshold})
+
+	total := 10 * threshold
+	high := 0
+	for i := 0; i < total; i++ {
+		publishKV(t, s, map[string]string{fmt.Sprintf("page-%05d", i): fmt.Sprintf("derived-%05d", i)})
+		if i%64 == 0 {
+			s.GC()
+			if n := s.VersionCount(); n > high {
+				high = n
+			}
+		}
+	}
+	s.GC()
+	if n := s.VersionCount(); n > high {
+		high = n
+	}
+	// The in-memory tier's high-water must track the fold threshold, not
+	// the total ingested (2× covers the between-GC accumulation window).
+	if high > 2*threshold {
+		t.Fatalf("in-memory high-water = %d entries for threshold %d (total %d): fold is not bounding memory", high, threshold, total)
+	}
+	if s.ColdRecords() == 0 {
+		t.Fatal("nothing reached the cold tier")
+	}
+
+	verify := func(s *Store, when string) {
+		sn := s.Acquire()
+		defer sn.Release()
+		for i := 0; i < total; i++ {
+			k := fmt.Sprintf("page-%05d", i)
+			v, ok := sn.Get(k)
+			if !ok || string(v) != fmt.Sprintf("derived-%05d", i) {
+				t.Fatalf("%s: record %s lost (%q,%v)", when, k, v, ok)
+			}
+		}
+	}
+	verify(s, "pre-restart")
+	wm := s.Watermark()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openCold(t, kv, Options{})
+	if got := s2.Watermark(); got != wm {
+		t.Fatalf("restart lost epochs: watermark %d, want %d", got, wm)
+	}
+	if got := int(s2.ColdRecords()); got != total {
+		t.Fatalf("restart recovered %d records, want %d", got, total)
+	}
+	verify(s2, "post-restart")
+}
+
+// TestGCFallsBackToInMemoryBelowThreshold: with little foldable data the
+// periodic GC compacts in memory instead of churning the disk.
+func TestGCFallsBackToInMemoryBelowThreshold(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{Shards: 2, FoldMinEntries: 1 << 20})
+
+	for i := 0; i < 50; i++ {
+		publishKV(t, s, map[string]string{"k": fmt.Sprintf("v%d", i)})
+	}
+	s.GC()
+	if s.ColdRecords() != 0 {
+		t.Fatal("GC folded to disk below the threshold")
+	}
+	st := s.StoreStats()
+	if st.Layers != 1 {
+		t.Fatalf("in-memory GC did not compact: %d layers", st.Layers)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	if v, _ := sn.Get("k"); string(v) != "v49" {
+		t.Fatalf("Get(k) = %q, want v49", v)
+	}
+}
+
+// TestColdKeyTooLongPanics: cold-backed stores reject keys the disk
+// codec cannot frame, at Put time.
+func TestColdKeyTooLongPanics(t *testing.T) {
+	dir := t.TempDir()
+	kv := openKV(t, dir)
+	defer kv.Close()
+	s := openCold(t, kv, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized key accepted into a disk-backed store")
+		}
+	}()
+	b := s.Begin()
+	b.Put(strings.Repeat("x", MaxColdKeyLen+1), []byte("v"))
+}

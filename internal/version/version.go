@@ -49,6 +49,30 @@
 // pinned snapshot's chains are frozen, and the watermark never ran ahead
 // of the gap in the first place.
 //
+// # Tiering: fresh → mid → cold (disk)
+//
+// A store opened with Open (as opposed to NewStore) has three tiers:
+//
+//	fresh   per-shard chains of just-published immutable layers (RAM)
+//	mid     per-shard merged layers built by in-memory compaction (RAM)
+//	cold    the kvstore B+tree keyspace the fold writes (disk)
+//
+//	Publish ──> fresh layer ──GC merge──> mid layer ──fold──> cold tier
+//	                │                        │                  │
+//	Snapshot.Get ───┴── chain walk ──────────┴── miss ──────────┴─> kvstore read
+//
+// GC folds everything at or below the pin floor to disk and splices it
+// out of the chains, so RAM holds only the data published since the last
+// fold — the archive grows on disk, not in the heap. Reads fall through a
+// missed chain walk to a read-only kvstore handle; because the fold floor
+// never exceeds the minimum pinned epoch, every cold record is at or
+// below every live snapshot's epoch, and the in-memory chains (which a
+// pinned snapshot captured immutably) shadow the cold tier for every key
+// they contain — so the fallthrough needs no coordination with folds. On
+// reopen the store recovers the durable fold watermark, purges any record
+// a torn fold left above it, and resumes publishing at watermark+1 (see
+// cold.go for the crash contract).
+//
 // # GC policy and shard parallelism
 //
 // GC (run off the hot path, e.g. by a periodic demon) compacts each
@@ -161,6 +185,16 @@ type Store struct {
 	// mu; the Publish backstop, which already holds mu, therefore never
 	// touches gcMu and relies on the splice-time conflict check instead.
 	gcMu []sync.Mutex
+
+	// cold is the disk tier (nil for purely in-memory stores). foldMu
+	// serialises fold rounds; foldHook is the crash-injection point for
+	// recovery tests; foldMin/foldChunk are Options knobs. Lock order:
+	// foldMu before mu.
+	cold      *coldTier
+	foldMu    sync.Mutex
+	foldHook  func(FoldPoint) error
+	foldMin   int
+	foldChunk int
 }
 
 // DefaultShards is the shard count NewStore uses: enough for parallel
@@ -278,6 +312,11 @@ func (b *Batch) mustActive(op string) {
 
 // stage records one write in its shard's staging map.
 func (b *Batch) put(key string, e entry) {
+	if b.s.cold != nil && len(key) > MaxColdKeyLen {
+		// Fail at publish time, loudly, like other Batch misuse: an
+		// oversized key would otherwise poison every future fold.
+		panic(fmt.Sprintf("version: key %d bytes long exceeds MaxColdKeyLen=%d for a disk-backed store", len(key), MaxColdKeyLen))
+	}
 	i := b.s.shardOf(key)
 	m := b.writes[i]
 	if m == nil {
@@ -492,11 +531,15 @@ func (sn *Snapshot) view(op string) *state {
 }
 
 // Get returns the newest value for key with epoch <= the snapshot epoch.
-// It hashes the key to its shard and walks only that chain. It panics if
-// the snapshot was released.
+// It hashes the key to its shard and walks only that chain; on a miss it
+// falls through to the cold tier (when one is attached), whose records
+// are all at or below every live snapshot's epoch by the fold-floor rule.
+// The hot path stays lock-free; only a genuine chain miss pays the disk
+// read. It panics if the snapshot was released.
 func (sn *Snapshot) Get(key string) ([]byte, bool) {
 	st := sn.view("Get")
-	for l := st.shards[sn.s.shardOf(key)].head; l != nil; l = l.next {
+	shard := sn.s.shardOf(key)
+	for l := st.shards[shard].head; l != nil; l = l.next {
 		if l.epoch > st.watermark {
 			continue
 		}
@@ -507,16 +550,20 @@ func (sn *Snapshot) Get(key string) ([]byte, bool) {
 			return e.value, true
 		}
 	}
+	if c := sn.s.cold; c != nil {
+		return c.get(shard, key, sn.epoch)
+	}
 	return nil, false
 }
 
 // Keys returns all live keys visible in the snapshot, sorted, across all
-// shards. It panics if the snapshot was released.
+// shards and both tiers (a chain entry — live or tombstone — shadows any
+// cold version of its key). It panics if the snapshot was released.
 func (sn *Snapshot) Keys() []string {
 	st := sn.view("Keys")
-	seen := make(map[string]bool)
 	var keys []string
 	for i := range st.shards {
+		seen := make(map[string]bool)
 		for l := st.shards[i].head; l != nil; l = l.next {
 			if l.epoch > st.watermark {
 				continue
@@ -530,6 +577,9 @@ func (sn *Snapshot) Keys() []string {
 					keys = append(keys, k)
 				}
 			}
+		}
+		if sn.s.cold != nil {
+			keys = sn.coldKeys(uint32(i), seen, keys)
 		}
 	}
 	sort.Strings(keys)
@@ -571,7 +621,19 @@ func (s *Store) pinFloorLocked(cur *state) uint64 {
 // read path and outside the store mutex, so shards compact in parallel
 // and only each result's O(spine) splice serialises. Returns the total
 // number of versions reclaimed.
+//
+// With a cold tier attached, GC folds to disk instead once enough
+// entries have accumulated below the pin floor (Options.FoldMinEntries);
+// below that it falls back to in-memory compaction, which in cold mode
+// preserves tombstones (they shadow disk records until folded).
 func (s *Store) GC() int {
+	if s.cold != nil && s.foldableEntries() >= s.foldMin {
+		if n, err := s.fold(); err == nil {
+			return n
+		}
+		// Fold failed (kvstore closed or write error): keep the data in
+		// memory and let in-memory compaction at least bound chain depth.
+	}
 	n := s.Shards()
 	if n == 1 {
 		return s.GCShard(0)
@@ -610,7 +672,7 @@ func (s *Store) GCShard(i int) int {
 	// floor can appear while we merge. Only the same shard's backstop
 	// compaction could replace it, which the splice detects below.
 	mergeHead := splitAt(cur.shards[i].head, floor)
-	bottom, _, reclaimed, changed := compactChain(mergeHead)
+	bottom, _, reclaimed, changed := compactChain(mergeHead, s.cold == nil)
 	if !changed {
 		return 0
 	}
@@ -674,13 +736,19 @@ func chainLen(l *layer) int {
 // its entry count, the number of versions reclaimed, and whether
 // anything changed.
 //
+// dropTombs says the merged bottom is the true bottom of the store, so
+// tombstones with nothing left to shadow can vanish. A disk-backed store
+// passes false: the cold tier sits below every chain, and an in-memory
+// tombstone must survive compaction to keep shadowing the disk version
+// of its key until a fold writes the tombstone through.
+//
 // Compaction is tiered so a periodic GC tick costs O(data published
 // since the last tick), not O(store): every non-base layer first merges
 // into one mid layer; the mid layer folds into the (potentially huge)
 // base only when that pays — it shadows or deletes base keys, or has
 // grown to a fair fraction of the base. Until a fold, the base map is
 // shared untouched across compactions.
-func compactChain(mergeHead *layer) (bottom *layer, post, reclaimed int, changed bool) {
+func compactChain(mergeHead *layer, dropTombs bool) (bottom *layer, post, reclaimed int, changed bool) {
 	if mergeHead == nil {
 		return nil, 0, 0, false
 	}
@@ -690,8 +758,8 @@ func compactChain(mergeHead *layer) (bottom *layer, post, reclaimed int, changed
 		uppers = append(uppers, base)
 		base = base.next
 	}
-	if len(uppers) == 0 && base.tombs == 0 {
-		return mergeHead, len(base.entries), 0, false // single tombstone-free base
+	if len(uppers) == 0 && (base.tombs == 0 || !dropTombs) {
+		return mergeHead, len(base.entries), 0, false // single already-compact base
 	}
 	pre := len(base.entries)
 	for _, l := range uppers {
@@ -724,7 +792,7 @@ func compactChain(mergeHead *layer) (bottom *layer, post, reclaimed int, changed
 	// (tombstones, or keys shadowing base versions) or when mid has
 	// grown to ≥1/4 of the base (bounding read depth and amortizing the
 	// base copy).
-	fold := base.tombs > 0
+	fold := dropTombs && base.tombs > 0
 	if mid != nil && !fold {
 		fold = mid.tombs > 0 || len(mid.entries)*4 >= len(base.entries)
 		if !fold {
@@ -749,16 +817,26 @@ func compactChain(mergeHead *layer) (bottom *layer, post, reclaimed int, changed
 			}
 			epoch = mid.epoch
 		}
-		// The folded layer is the true bottom: tombstones shadow nothing.
-		for k, e := range merged {
-			if e.deleted {
-				delete(merged, k)
+		tombs := 0
+		if dropTombs {
+			// The folded layer is the true bottom: tombstones shadow
+			// nothing.
+			for k, e := range merged {
+				if e.deleted {
+					delete(merged, k)
+				}
+			}
+		} else {
+			for _, e := range merged {
+				if e.deleted {
+					tombs++
+				}
 			}
 		}
 		if len(merged) == 0 {
 			return nil, 0, pre, true
 		}
-		return &layer{epoch: epoch, entries: merged}, len(merged), pre - len(merged), true
+		return &layer{epoch: epoch, entries: merged, tombs: tombs}, len(merged), pre - len(merged), true
 	}
 	if len(uppers) == 1 {
 		return mergeHead, pre, 0, false // already in [single-upper, base] shape
@@ -781,7 +859,7 @@ func (s *Store) compactAllLocked() {
 	dirty := false
 	for i := range shards {
 		mergeHead := splitAt(shards[i].head, floor)
-		bottom, _, reclaimed, changed := compactChain(mergeHead)
+		bottom, _, reclaimed, changed := compactChain(mergeHead, s.cold == nil)
 		if !changed {
 			continue
 		}
@@ -838,6 +916,8 @@ type Stats struct {
 	GCReclaimed uint64
 	// Shards is the per-shard breakdown (length = shard count).
 	Shards []ShardStats
+	// Cold summarises the disk tier (nil for purely in-memory stores).
+	Cold *ColdStats
 }
 
 // StoreStats returns current store statistics.
@@ -864,6 +944,9 @@ func (s *Store) StoreStats() Stats {
 	}
 	for _, h := range s.history {
 		st.Pinned += int(h.pins.Load())
+	}
+	if s.cold != nil {
+		st.Cold = s.cold.stats()
 	}
 	return st
 }

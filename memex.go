@@ -61,6 +61,10 @@ type Config struct {
 	// (0 = on demand only).
 	ThemeInterval time.Duration
 	TrainInterval time.Duration
+	// GCInterval runs the version-store GC demon, which compacts
+	// superseded derived-data layers and folds cold ones to disk
+	// (0 = engine default of 2s; negative disables the demon).
+	GCInterval time.Duration
 	// Now injects the engine clock — set it when replaying historical
 	// traces so recency decay is computed against the trace era, not the
 	// wall clock (default time.Now).
@@ -93,13 +97,14 @@ func Open(cfg Config) (*Memex, error) {
 		sync = kvstore.SyncAlways
 	}
 	e, err := core.Open(core.Config{
-		Dir:           cfg.Dir,
-		Source:        cfg.Source,
-		KV:            kvstore.Options{Sync: sync},
-		Workers:       cfg.Workers,
-		ThemeInterval: cfg.ThemeInterval,
-		TrainInterval: cfg.TrainInterval,
-		Now:           cfg.Now,
+		Dir:               cfg.Dir,
+		Source:            cfg.Source,
+		KV:                kvstore.Options{Sync: sync},
+		Workers:           cfg.Workers,
+		ThemeInterval:     cfg.ThemeInterval,
+		TrainInterval:     cfg.TrainInterval,
+		VersionGCInterval: cfg.GCInterval,
+		Now:               cfg.Now,
 	})
 	if err != nil {
 		return nil, err
