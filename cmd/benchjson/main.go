@@ -1,0 +1,196 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_<date>.json trajectory format, so CI can append one machine-
+// readable point per run to the performance history.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -count=5 ./... | benchjson -commit $SHA > BENCH_2026-07-28.json
+//
+// Repeated runs of the same benchmark (-count > 1) are aggregated into
+// one entry carrying the min/mean/max ns/op, which is what makes the
+// trajectory robust to scheduler noise on shared CI runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one benchmark's aggregated measurement in a trajectory file.
+type Point struct {
+	Name string `json:"name"`
+	// Runs is how many -count repetitions were aggregated.
+	Runs      int     `json:"runs"`
+	NsPerOp   float64 `json:"ns_per_op"`       // mean
+	MinNsOp   float64 `json:"min_ns_per_op"`   //
+	MaxNsOp   float64 `json:"max_ns_per_op"`   //
+	BytesOp   float64 `json:"bytes_per_op"`    // mean, -1 when unreported
+	AllocsOp  float64 `json:"allocs_per_op"`   // mean, -1 when unreported
+	MBPerSec  float64 `json:"mb_per_s"`        // mean, -1 when unreported
+	Iteration int64   `json:"iterations_last"` // b.N of the last run
+}
+
+// File is the BENCH_<date>.json schema.
+type File struct {
+	Date       string  `json:"date"`
+	Commit     string  `json:"commit,omitempty"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	Benchmarks []Point `json:"benchmarks"`
+}
+
+func main() {
+	commit := flag.String("commit", "", "commit hash to record")
+	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date to record (YYYY-MM-DD)")
+	flag.Parse()
+
+	points, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(points) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out := File{
+		Date:       *date,
+		Commit:     *commit,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: points,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	n                       int64
+	ns, bytes, allocs, mbps float64
+	hasBytes, hasAllocs     bool
+	hasMBps                 bool
+}
+
+// Parse reads `go test -bench` output and aggregates per-benchmark
+// samples into trajectory points, sorted by name.
+func Parse(r io.Reader) ([]Point, error) {
+	samples := map[string][]sample{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(samples))
+	for n := range samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	points := make([]Point, 0, len(names))
+	for _, name := range names {
+		ss := samples[name]
+		p := Point{Name: name, Runs: len(ss), BytesOp: -1, AllocsOp: -1, MBPerSec: -1,
+			MinNsOp: ss[0].ns, MaxNsOp: ss[0].ns}
+		var sumNs, sumB, sumA, sumM float64
+		nB, nA, nM := 0, 0, 0
+		for _, s := range ss {
+			sumNs += s.ns
+			if s.ns < p.MinNsOp {
+				p.MinNsOp = s.ns
+			}
+			if s.ns > p.MaxNsOp {
+				p.MaxNsOp = s.ns
+			}
+			if s.hasBytes {
+				sumB += s.bytes
+				nB++
+			}
+			if s.hasAllocs {
+				sumA += s.allocs
+				nA++
+			}
+			if s.hasMBps {
+				sumM += s.mbps
+				nM++
+			}
+			p.Iteration = s.n
+		}
+		p.NsPerOp = sumNs / float64(len(ss))
+		if nB > 0 {
+			p.BytesOp = sumB / float64(nB)
+		}
+		if nA > 0 {
+			p.AllocsOp = sumA / float64(nA)
+		}
+		if nM > 0 {
+			p.MBPerSec = sumM / float64(nM)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// parseLine recognises one result line, e.g.
+//
+//	BenchmarkGet/shards=8-16   1000000   1052 ns/op   120 B/op   3 allocs/op
+//
+// The "-16" GOMAXPROCS suffix stays part of the name, as benchstat keeps
+// it; non-benchmark lines (PASS, ok, goos: …) return ok=false.
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", sample{}, false
+	}
+	s := sample{n: n}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.ns = v
+			seenNs = true
+		case "B/op":
+			s.bytes = v
+			s.hasBytes = true
+		case "allocs/op":
+			s.allocs = v
+			s.hasAllocs = true
+		case "MB/s":
+			s.mbps = v
+			s.hasMBps = true
+		}
+	}
+	if !seenNs {
+		return "", sample{}, false
+	}
+	return fields[0], s, true
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: memex/internal/version
+cpu: AMD EPYC 7B13
+BenchmarkSnapshotGet/shards=8-16         	52441594	        22.41 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSnapshotGet/shards=8-16         	53000000	        21.99 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPublish-16                      	  861672	      1341 ns/op	     672 B/op	       8 allocs/op
+BenchmarkFold-16                         	     100	  10234567 ns/op
+PASS
+ok  	memex/internal/version	12.3s
+`
+
+func TestParseAggregatesRuns(t *testing.T) {
+	points, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3: %+v", len(points), points)
+	}
+	// Sorted by name: Fold, Publish, SnapshotGet.
+	if points[0].Name != "BenchmarkFold-16" || points[2].Name != "BenchmarkSnapshotGet/shards=8-16" {
+		t.Fatalf("unexpected order: %q, %q, %q", points[0].Name, points[1].Name, points[2].Name)
+	}
+	get := points[2]
+	if get.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", get.Runs)
+	}
+	if get.MinNsOp != 21.99 || get.MaxNsOp != 22.41 {
+		t.Fatalf("min/max = %v/%v", get.MinNsOp, get.MaxNsOp)
+	}
+	if mean := (22.41 + 21.99) / 2; get.NsPerOp != mean {
+		t.Fatalf("mean = %v, want %v", get.NsPerOp, mean)
+	}
+	if get.AllocsOp != 0 || get.BytesOp != 0 {
+		t.Fatalf("allocs/bytes = %v/%v, want 0/0", get.AllocsOp, get.BytesOp)
+	}
+	fold := points[0]
+	if fold.BytesOp != -1 || fold.AllocsOp != -1 {
+		t.Fatalf("unreported memory stats should be -1, got %v/%v", fold.BytesOp, fold.AllocsOp)
+	}
+	if fold.Iteration != 100 {
+		t.Fatalf("Iteration = %d", fold.Iteration)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	points, err := Parse(strings.NewReader("PASS\nok  \tmemex\t1s\nBenchmarkBroken abc ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Fatalf("parsed noise as benchmarks: %+v", points)
+	}
+}

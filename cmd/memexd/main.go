@@ -54,8 +54,8 @@ func main() {
 	}
 	defer m.Close()
 	if st := m.Status(); st.Version.Cold != nil && st.Version.Cold.Records > 0 {
-		log.Printf("recovered %d cold derived records at watermark %d from %s (%d pages indexed, no re-crawl needed)",
-			st.Version.Cold.Records, st.Version.Cold.Watermark, *dir, st.PagesIndexed)
+		log.Printf("recovered %d cold derived records at watermark %d from %s (%d pages indexed, link graph %d nodes/%d edges, no re-crawl needed)",
+			st.Version.Cold.Records, st.Version.Cold.Watermark, *dir, st.PagesIndexed, st.GraphNodes, st.GraphEdges)
 	}
 
 	if *replay > 0 {

@@ -81,10 +81,10 @@ func main() {
 	// Baseline comparison on raw harvest rate, outside the engine, using
 	// the same world: focused vs BFS frontier.
 	fmt.Println("\n== Harvest-rate comparison (150-page budget) ==")
-	rel := func(text string) float64 {
+	rel := func(fr crawler.FetchResult) float64 {
 		top := corpus.Topics[focus.Parent]
 		prefix := top.Name + "_" + focus.Name
-		words := strings.Fields(text)
+		words := strings.Fields(fr.Text)
 		if len(words) == 0 {
 			return 0
 		}

@@ -138,6 +138,7 @@ func (tr *Trainer) Train(opts Options) (*Bayes, error) {
 func (tr *Trainer) selectFeatures(classes []string, k int) map[int32]bool {
 	type scored struct {
 		id    int32
+		term  string
 		score float64
 	}
 	rates := make([]map[int32]float64, len(classes))
@@ -174,13 +175,19 @@ func (tr *Trainer) selectFeatures(classes []string, k int) map[int32]bool {
 		if within < 1e-12 {
 			within = 1e-12
 		}
-		all = append(all, scored{id, between / within})
+		all = append(all, scored{id, tr.dict.Term(id), between / within})
 	}
+	// Ties break on the term string, not the id: dictionary ids are
+	// assigned in process-local order, so an id tiebreak would select a
+	// different feature set after a restart replays the archive in a
+	// different order, and two lives of the same server must train
+	// identical models from identical archives. (Terms are resolved once
+	// above — the comparator must not take the dict lock O(n log n) times.)
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].score != all[j].score {
 			return all[i].score > all[j].score
 		}
-		return all[i].id < all[j].id
+		return all[i].term < all[j].term
 	})
 	if k > len(all) {
 		k = len(all)
@@ -193,9 +200,17 @@ func (tr *Trainer) selectFeatures(classes []string, k int) map[int32]bool {
 }
 
 // LogScores returns per-class unnormalized log posteriors for the document.
+// Terms are accumulated in sorted order so the float sums — and therefore
+// every downstream posterior, classification and crawl-frontier priority —
+// are a pure function of (model, document), not of map iteration order.
 func (m *Bayes) LogScores(tf map[string]int) []float64 {
+	terms := make([]string, 0, len(tf))
+	for term := range tf {
+		terms = append(terms, term)
+	}
+	sort.Strings(terms)
 	scores := append([]float64(nil), m.logPrior...)
-	for term, n := range tf {
+	for _, term := range terms {
 		id, ok := m.dict.Lookup(term)
 		if !ok {
 			continue
@@ -203,6 +218,7 @@ func (m *Bayes) LogScores(tf map[string]int) []float64 {
 		if m.features != nil && !m.features[id] {
 			continue
 		}
+		n := tf[term]
 		for ci := range scores {
 			lp, ok := m.termLog[ci][id]
 			if !ok {

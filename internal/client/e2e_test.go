@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -157,20 +158,35 @@ func TestEndToEndBookmarkThemesRecommend(t *testing.T) {
 	_ = recs // may be empty if peers saw nothing new; API must not error
 }
 
-// TestEndToEndRestartRecoversDerivedState is the ISSUE 3 e2e restart
+// countingSource wraps a PageSource and counts every Lookup — the e2e
+// definition of "network fetch".
+type countingSource struct {
+	inner   core.PageSource
+	lookups *atomic.Int64
+}
+
+func (s countingSource) Lookup(url string) (core.Content, bool) {
+	s.lookups.Add(1)
+	return s.inner.Lookup(url)
+}
+
+// TestEndToEndRestartRecoversDerivedState is the ISSUE 3+4 e2e restart
 // test: ingest pages, stop memexd's engine, restart it on the same data
-// directory, and assert that recommend/themes/search answers match the
-// pre-restart snapshots, that /api/status reports cold-tier record
-// counts, and that re-visiting the same pages triggers zero re-fetches —
-// the derived state came back from the version store's cold tier, not
-// from re-crawling.
+// directory, and assert that search/themes/recommend/trails/discover
+// answers all match the pre-restart snapshots, that /api/status reports
+// cold-tier records and the recovered link graph, and that the entire
+// second life — including a full Discover crawl over the recovered
+// frontier and re-visits of archived pages — performs zero network
+// fetches: every answer comes from the version store's recovered
+// records, not from re-crawling.
 func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	c := webcorpus.Generate(webcorpus.Config{Seed: 9, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 15})
 	dir := t.TempDir()
+	var lookups atomic.Int64
 	open := func() (*core.Engine, *httptest.Server, *client.Client) {
 		e, err := core.Open(core.Config{
 			Dir:    dir,
-			Source: corpusSource{c},
+			Source: countingSource{corpusSource{c}, &lookups},
 			KV:     kvstore.Options{Sync: kvstore.SyncNever},
 		})
 		if err != nil {
@@ -186,9 +202,9 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	var visited []string
 	for u := int64(1); u <= 3; u++ {
 		cl1.Register(u, "user")
-		leaf := leaves[0]
+		leaf, other := leaves[0], leaves[3]
 		if u == 3 {
-			leaf = leaves[3]
+			leaf, other = leaves[3], leaves[0]
 		}
 		n := 0
 		for _, pid := range c.LeafPages[leaf.ID] {
@@ -206,8 +222,53 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 				break
 			}
 		}
+		// A second folder gives every user a trainable (≥2-class)
+		// classifier, which Trails and Discover need.
+		m := 0
+		for _, pid := range c.LeafPages[other.ID] {
+			p := c.Page(pid)
+			if p.Front {
+				continue
+			}
+			cl1.Bookmark(u, p.URL, "/other", tBase)
+			m++
+			if m == 3 {
+				break
+			}
+		}
 	}
 	e1.DrainBackground()
+
+	// Discover expands the archive (each crawl fetches new frontier
+	// pages), which grows the corpus the classifier trains over — so
+	// iterate retrain→discover until a whole crawl is served from the
+	// archive alone. That fixpoint is the reproducible reference state:
+	// the second life recovers exactly this archive and must propose the
+	// identical frontier without a single fetch.
+	e1.RetrainClassifiers()
+	var discoverPre []core.PageInfo
+	converged := false
+	for round := 0; round < 8; round++ {
+		before := lookups.Load()
+		var err error
+		discoverPre, err = cl1.Discover(1, "/interest", 200, 8)
+		if err != nil {
+			t.Fatalf("Discover pre-restart: %v", err)
+		}
+		e1.DrainBackground()
+		if lookups.Load() == before {
+			converged = true
+			break
+		}
+		e1.RetrainClassifiers()
+	}
+	if !converged {
+		t.Fatal("Discover never converged to a zero-fetch crawl")
+	}
+	if len(discoverPre) == 0 {
+		t.Fatal("Discover proposed nothing pre-restart")
+	}
+
 	themesPre, err := cl1.RebuildThemes()
 	if err != nil || themesPre.Themes == 0 {
 		t.Fatalf("RebuildThemes pre-restart: %v (%d themes)", err, themesPre.Themes)
@@ -221,9 +282,16 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Recommend pre-restart: %v", err)
 	}
+	trailsPre, err := cl1.Trails(1, "/interest", 10)
+	if err != nil {
+		t.Fatalf("Trails pre-restart: %v", err)
+	}
 	stPre, err := cl1.Status()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if stPre.GraphNodes == 0 || stPre.GraphEdges == 0 {
+		t.Fatalf("no link graph over HTTP pre-restart: %+v", stPre)
 	}
 	ts1.Close()
 	if err := e1.Close(); err != nil {
@@ -231,6 +299,7 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	}
 
 	// --- second life: same data dir, fresh process state ---
+	atRestart := lookups.Load()
 	e2, ts2, cl2 := open()
 	defer func() {
 		ts2.Close()
@@ -249,6 +318,12 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	if stPost.PagesIndexed != stPre.PagesIndexed {
 		t.Fatalf("index rebuilt with %d docs, want %d", stPost.PagesIndexed, stPre.PagesIndexed)
 	}
+	// The link graph came back from the recovered lnk/ records: same
+	// shape, before any fetch or visit in this life.
+	if stPost.GraphNodes != stPre.GraphNodes || stPost.GraphEdges != stPre.GraphEdges {
+		t.Fatalf("restart lost link graph: %d/%d nodes, %d/%d edges",
+			stPost.GraphNodes, stPre.GraphNodes, stPost.GraphEdges, stPre.GraphEdges)
+	}
 
 	// Search answers must match: the inverted index was rebuilt from the
 	// recovered term-count records, not from re-fetching.
@@ -260,8 +335,9 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 		t.Fatalf("search diverged after restart: %v, want %v", got, want)
 	}
 
-	// Themes and recommendations are recomputed from recovered vectors and
-	// must land where they did before the restart.
+	// Themes and recommendations are recomputed from recovered vectors
+	// (and, for recommend's link-proximity boost, recovered adjacency)
+	// and must land where they did before the restart.
 	themesPost, err := cl2.RebuildThemes()
 	if err != nil || themesPost.Themes != themesPre.Themes {
 		t.Fatalf("themes after restart: %v (%d, want %d)", err, themesPost.Themes, themesPre.Themes)
@@ -272,6 +348,28 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	}
 	if got, want := hitURLs(recsPost), hitURLs(recsPre); !slices.Equal(got, want) {
 		t.Fatalf("recommendations diverged after restart: %v, want %v", got, want)
+	}
+
+	// Trails and Discover read the recovered link records through pinned
+	// views; with the retrained (deterministic) classifier they must
+	// reproduce the pre-restart context and frontier exactly.
+	e2.RetrainClassifiers()
+	trailsPost, err := cl2.Trails(1, "/interest", 10)
+	if err != nil {
+		t.Fatalf("Trails post-restart: %v", err)
+	}
+	if got, want := hitURLs(trailsPost.Pages), hitURLs(trailsPre.Pages); !slices.Equal(got, want) {
+		t.Fatalf("trail pages diverged after restart: %v, want %v", got, want)
+	}
+	if got, want := hitURLs(trailsPost.Popular), hitURLs(trailsPre.Popular); !slices.Equal(got, want) {
+		t.Fatalf("trail popular set diverged after restart: %v, want %v", got, want)
+	}
+	discoverPost, err := cl2.Discover(1, "/interest", 200, 8)
+	if err != nil {
+		t.Fatalf("Discover post-restart: %v", err)
+	}
+	if got, want := hitURLs(discoverPost), hitURLs(discoverPre); !slices.Equal(got, want) {
+		t.Fatalf("discover frontier diverged after restart: %v, want %v", got, want)
 	}
 
 	// Re-visiting already-archived pages must not re-crawl: the fetch
@@ -288,6 +386,12 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	}
 	if stAfter.PagesFetched != 0 {
 		t.Fatalf("restarted server re-fetched %d already-archived pages", stAfter.PagesFetched)
+	}
+	// The hard guarantee behind all of the above: the entire second life —
+	// status, search, themes, recommend, trails, a full Discover crawl,
+	// and the re-visits — touched the page source zero times.
+	if n := lookups.Load() - atRestart; n != 0 {
+		t.Fatalf("second life performed %d network fetches; want 0", n)
 	}
 }
 

@@ -17,15 +17,16 @@ import (
 // all-or-nothing, repeatable across the whole pass — while ingest keeps
 // publishing without ever blocking them.
 //
-// The term-count record is the only derived record: a page's term vector
-// is a pure function of its counts and the engine dictionary, so
-// DerivedView derives (and memoizes) vectors instead of storing a second
-// blob. That also makes every persisted record process-portable — dict
-// ids are assigned per process, so a stored vector blob would go stale
-// across a restart, while term strings never do. On reopen the engine
-// replays the recovered records through reloadDerived to rebuild the
-// dictionary, corpus statistics and inverted index, and the fetch path
-// skips every recovered page instead of re-crawling it.
+// The derived records are the term-count record (tf/) and the adjacency
+// records (lnk/, rin/ — see links.go); a page's term vector is a pure
+// function of its counts and the engine dictionary, so DerivedView
+// derives (and memoizes) vectors instead of storing a second blob. That
+// also makes every persisted record process-portable — dict ids are
+// assigned per process, so a stored vector blob would go stale across a
+// restart, while term strings and page ids never do. On reopen the
+// engine replays the recovered records through reloadDerived to rebuild
+// the dictionary, corpus statistics, inverted index and link graph, and
+// the fetch path skips every recovered page instead of re-crawling it.
 
 // tfKey names a page's derived term-count record in the version store.
 func tfKey(page int64) string { return "tf/" + strconv.FormatInt(page, 10) }
@@ -39,29 +40,27 @@ func pageOfTFKey(key string) (int64, bool) {
 	return id, err == nil
 }
 
-// publishDerived stages and publishes one page's derived data (the
-// producer side of the loosely-consistent versioning). The deferred Abort
-// is a no-op on success but completes the epoch if staging panics — a
-// leaked epoch would stall the watermark forever under the contiguity
-// rule.
-func (e *Engine) publishDerived(pageID int64, tf map[string]int) {
-	b := e.vs.BeginSized(1)
-	defer b.Abort()
-	b.Put(tfKey(pageID), encodeCounts(tf))
-	b.Publish()
-}
-
 // reloadDerived rebuilds the in-memory text machinery — dictionary ids,
-// corpus document frequencies, the inverted index — and the fetch claim
-// set from the derived records the version store recovered from its cold
-// tier, so a restarted server answers search/profile/theme queries and
-// never re-crawls a page whose derived state survived. Runs during Open,
-// single-threaded, before any demon starts.
+// corpus document frequencies, the inverted index — the fetch claim set,
+// and the link-graph authority from the derived records the version
+// store recovered from its cold tier, so a restarted server answers
+// search/profile/theme/trail queries, resumes Discover's crawl frontier,
+// and never re-crawls a page whose derived state survived. Recovered
+// lnk/ records rebuild both adjacency directions (every reverse edge is
+// the inversion of some out-edge, so rin/ records need no replay — they
+// exist for pinned-view reads). Runs during Open, single-threaded,
+// before any demon starts.
 func (e *Engine) reloadDerived() int {
 	view := e.DerivedSnapshot()
 	defer view.Release()
 	n := 0
 	view.sn.Range(func(key string, raw []byte) bool {
+		if page, ok := pageOfLnkKey(key); ok {
+			if outs, ok := decodeIDSet(raw); ok {
+				e.links.applyRecovered(page, outs)
+			}
+			return true
+		}
 		page, ok := pageOfTFKey(key)
 		if !ok {
 			return true
@@ -110,6 +109,12 @@ func (e *Engine) derivedPublished(pageID int64) bool {
 // view was pinned stays invisible to it (its TermCounts stay nil for the
 // whole pass), exactly like a page that was never fetched.
 //
+// The view is also the pinned face of the link graph: Out, In and Has
+// decode the page's lnk/rin adjacency records at the view's epoch,
+// satisfying graph.AdjacencySource, so trail ranking, link-proximity
+// recommendation and crawl-frontier checks all read the same frozen
+// graph their term-stat reads come from.
+//
 // Decoded records are memoized per view — a usage or replay pass reads
 // the same few pages many times — so a DerivedView is for a single
 // goroutine, like the passes that hold one.
@@ -118,6 +123,8 @@ type DerivedView struct {
 	dict *text.Dict
 	tf   map[int64]map[string]int
 	vec  map[int64]text.Vector
+	out  map[int64][]int64
+	in   map[int64][]int64
 }
 
 // DerivedSnapshot pins the current derived-data epoch.
@@ -127,6 +134,8 @@ func (e *Engine) DerivedSnapshot() *DerivedView {
 		dict: e.dict,
 		tf:   map[int64]map[string]int{},
 		vec:  map[int64]text.Vector{},
+		out:  map[int64][]int64{},
+		in:   map[int64][]int64{},
 	}
 }
 
@@ -148,6 +157,50 @@ func (v *DerivedView) TermCounts(page int64) map[string]int {
 	}
 	v.tf[page] = tf
 	return tf
+}
+
+// adj decodes one adjacency record through a memo map. The memo stores
+// nil for "no record at this epoch" and a non-nil (possibly empty) slice
+// for a known page, mirroring decodeIDSet's contract.
+func (v *DerivedView) adj(memo map[int64][]int64, key string, page int64) []int64 {
+	if ids, ok := memo[page]; ok {
+		return ids
+	}
+	var ids []int64
+	if raw, ok := v.sn.Get(key); ok {
+		if dec, ok := decodeIDSet(raw); ok {
+			ids = dec
+		}
+	}
+	memo[page] = ids
+	return ids
+}
+
+// Out returns the page's out-link adjacency as of the view's epoch (nil
+// when the page has no lnk/ record; callers must not mutate the slice).
+// Out implements part of graph.AdjacencySource.
+func (v *DerivedView) Out(page int64) []int64 {
+	return v.adj(v.out, lnkKey(page), page)
+}
+
+// OutKnown is Out plus whether the page has an adjacency record at all —
+// distinguishing "archived with zero out-links" from "unknown page".
+func (v *DerivedView) OutKnown(page int64) ([]int64, bool) {
+	ids := v.Out(page)
+	return ids, ids != nil
+}
+
+// In returns the page's in-link adjacency (the rin/ reverse record) as of
+// the view's epoch. In implements part of graph.AdjacencySource.
+func (v *DerivedView) In(page int64) []int64 {
+	return v.adj(v.in, rinKey(page), page)
+}
+
+// Has reports whether the page is known to the link graph at the view's
+// epoch: it has published out-links (even an empty set) or something
+// links to it. Has implements part of graph.AdjacencySource.
+func (v *DerivedView) Has(page int64) bool {
+	return v.Out(page) != nil || v.In(page) != nil
 }
 
 // Vector returns the page's raw term vector as of the view's epoch,

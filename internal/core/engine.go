@@ -8,25 +8,37 @@
 //
 // # Derived page state lives only in the version store
 //
-// A page's derived data — its term-count record, from which term vectors
-// are derived on demand — has exactly one home: the sharded epoch-layer
-// store in internal/version, published by the fetch path as one batch
-// per page, held in RAM while hot and folded to the engine's kvstore
+// A page's derived data — its term-count record (tf/), from which term
+// vectors are derived on demand, and its link-adjacency records (lnk/
+// out-links, rin/ in-links) — has exactly one home: the sharded
+// epoch-layer store in internal/version, published by the fetch path as
+// one batch per page (terms and links land in the same epoch, so a
+// snapshot can never see a page's text without its place in the link
+// graph), held in RAM while hot and folded to the engine's kvstore
 // ("vc/" keyspace) by the version-gc demon, so the archive grows on disk
 // and survives restarts (Open replays the recovered records back into
-// the dictionary, corpus stats and inverted index, and the fetch path
-// skips recovered pages instead of re-crawling). There is no live map
-// shadowing it. Every derived-data reader pins a DerivedView snapshot
-// for its whole pass and is therefore snapshot-consistent:
+// the dictionary, corpus stats, inverted index and link-graph authority,
+// and the fetch path skips recovered pages instead of re-crawling).
+// There is no live map shadowing it. Every derived-data reader pins a
+// DerivedView snapshot for its whole pass and is therefore
+// snapshot-consistent:
 //
 //   - theme rebuilds (RebuildThemes) and user profiles (Profile,
 //     Recommend) read vectors from one pinned epoch;
 //   - usage breakdown, trail replay, and classifier guesses read term
 //     counts the same way;
+//   - trail popularity (HITS), recommend's link-proximity boost and
+//     Discover's crawl frontier decode lnk/rin adjacency from the same
+//     pinned view as their term-stat reads (graph.AdjacencySource);
 //   - classifier retraining trains every user against a single epoch;
 //   - even ingest's own "already fetched?" fast path is a lock-free
 //     snapshot read, with the small e.fetched claim set (under e.mu)
 //     arbitrating publish races authoritatively.
+//
+// The only in-memory link structure is the producer-side authority in
+// links.go: a graph rebuilt from recovered records at Open, consulted
+// and updated under one lock so each published adjacency record is the
+// union of everything published before it. Read passes never touch it.
 //
 // e.mu consequently guards page-metadata bookkeeping only — folder
 // trees, models, the taxonomy pointer, url/title/visibility maps, and
@@ -44,7 +56,6 @@ import (
 	"memex/internal/demon"
 	"memex/internal/events"
 	"memex/internal/folders"
-	"memex/internal/graph"
 	"memex/internal/kvstore"
 	"memex/internal/rdbms"
 	"memex/internal/text"
@@ -101,7 +112,12 @@ type Engine struct {
 	dict  *text.Dict
 	corp  *text.Corpus
 	idx   *textindex.Index
-	g     *graph.Graph
+	// links is the link-graph producer: every edge write publishes
+	// lnk/rin adjacency records through the version store before touching
+	// the in-memory authority graph (see links.go). Read passes never use
+	// it directly — they pin a DerivedView, whose Out/In/Has decode the
+	// records at one epoch.
+	links *linkIndex
 	queue *events.Queue
 	pool  *demon.Pool
 
@@ -198,7 +214,7 @@ func Open(cfg Config) (*Engine, error) {
 		vs:        vs,
 		dict:      text.NewDict(),
 		corp:      text.NewCorpus(),
-		g:         graph.New(),
+		links:     newLinkIndex(vs),
 		queue:     events.NewQueue(cfg.QueueSize),
 		pool:      demon.NewPool(),
 		trees:     map[int64]*folders.Tree{},
@@ -392,6 +408,12 @@ type Stats struct {
 	Themes        int
 	DiskBytes     int64
 	DemonRestarts map[string]int
+	// GraphNodes/GraphEdges size the recovered+live link graph (pages
+	// known to the hyperlink structure and directed edges between them).
+	// After a restart they are nonzero before any fetch: the adjacency
+	// came back from the version store's recovered lnk/ records.
+	GraphNodes int
+	GraphEdges int
 	// Version reports the derived-data version store: watermark, layer
 	// count, pinned snapshots, and cumulative GC work.
 	Version version.Stats
@@ -407,7 +429,10 @@ func (e *Engine) Status() Stats {
 	}
 	pages := len(e.urlOf)
 	e.mu.RUnlock()
+	nodes, edges := e.links.Counts()
 	return Stats{
+		GraphNodes:    nodes,
+		GraphEdges:    edges,
 		Users:         users,
 		Pages:         pages,
 		PagesIndexed:  e.idx.Docs(),

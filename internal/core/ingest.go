@@ -71,7 +71,11 @@ func (e *Engine) RecordVisit(user int64, url, referrer string, at time.Time, pri
 	}
 	e.mu.Unlock()
 	if refID != 0 {
-		e.g.AddEdge(refID, pageID)
+		// The referrer→page transition is link-graph evidence like any
+		// fetched out-link: publish it as adjacency-record deltas (one
+		// epoch, no-op when the edge is already known) so trail mining
+		// still sees it after a restart.
+		e.links.publish(refID, []int64{pageID}, nil)
 	}
 	e.stats.VisitsLogged.Add(1)
 	e.pushed.Add(1)
@@ -233,7 +237,6 @@ func (e *Engine) ensurePage(url string) (int64, error) {
 	e.urlOf[id] = url
 	e.idByURL[url] = id
 	e.mu.Unlock()
-	e.g.AddNode(id)
 	return id, nil
 }
 
@@ -284,29 +287,14 @@ func (e *Engine) process(ev events.Event) {
 	}
 }
 
-// fetchAndIndex resolves content once per page, indexes it, publishes
-// term stats through the version store, and records out-links. It
-// returns the freshly computed term counts when this call performed the
-// fetch, nil otherwise (already fetched, or content unavailable). The
-// "already fetched" fast path is a lock-free version-store read — the
-// hot event loop never touches e.mu just to skip a done page.
+// fetchAndIndex resolves content once per page, indexes it, and publishes
+// term stats plus out-link adjacency through the version store as one
+// batch. It returns the freshly computed term counts when this call
+// performed the fetch, nil otherwise (already fetched, or content
+// unavailable). The "already fetched" fast path is a lock-free
+// version-store read — the hot event loop never touches e.mu just to
+// skip a done page.
 func (e *Engine) fetchAndIndex(pageID int64, url string) map[string]int {
-	if e.derivedPublished(pageID) {
-		return nil
-	}
-	return e.fetchAndIndexSlow(pageID, url)
-}
-
-// fetchAndIndexView is fetchAndIndex for a pass that already pinned a
-// DerivedView (Discover's crawl): the skip check reads the pass's own
-// snapshot, so one consistent epoch decides "already archived" for the
-// whole crawl. A page the pinned view misses may still have published
-// since the pin — recheck the current store before paying for tokenize
-// and vector work the claim set would only discard.
-func (e *Engine) fetchAndIndexView(pageID int64, url string, view *DerivedView) map[string]int {
-	if view.TermCounts(pageID) != nil {
-		return nil
-	}
 	if e.derivedPublished(pageID) {
 		return nil
 	}
@@ -315,7 +303,10 @@ func (e *Engine) fetchAndIndexView(pageID int64, url string, view *DerivedView) 
 
 // fetchAndIndexSlow is the publish half of the fetch path. Callers have
 // already decided the page looks unfetched; the claim set arbitrates
-// races authoritatively.
+// races authoritatively. It returns the page's term counts, nil when
+// content was unavailable. By the time it returns, the page's lnk/
+// adjacency record — and the authority graph — hold its full out-link
+// union (the claim winner publishes synchronously).
 func (e *Engine) fetchAndIndexSlow(pageID int64, url string) map[string]int {
 	content, ok := e.cfg.Source.Lookup(url)
 	if !ok {
@@ -332,6 +323,13 @@ func (e *Engine) fetchAndIndexSlow(pageID int64, url string) map[string]int {
 	e.mu.Lock()
 	if e.fetched[pageID] {
 		e.mu.Unlock()
+		// Lost the claim: the winner owns the tf publish, but may still
+		// be resolving link URLs ahead of its own adjacency publish.
+		// Publish the out-links this call already holds — idempotent and
+		// serialized with the winner under the link lock, so whichever
+		// side lands last leaves the full union — because our caller may
+		// read the authority's adjacency the moment we return.
+		e.links.publish(pageID, e.resolveLinks(content.Links), nil)
 		return tf
 	}
 	e.fetched[pageID] = true
@@ -344,13 +342,14 @@ func (e *Engine) fetchAndIndexSlow(pageID int64, url string) map[string]int {
 	// stats that don't include it yet.
 	e.corp.AddDoc(vec)
 
-	// Producer side of the loosely-consistent versioning: the page's
-	// derived stats are staged and published as one batch (consumers see
-	// all or nothing), and every derived-data read path (usage, profiles,
-	// themes, trails, recommend) consumes them through pinned snapshots —
-	// from memory while hot, from the kvstore cold tier once GC folds
-	// them, and again after a restart recovers the fold.
-	e.publishDerived(pageID, tf)
+	// Resolve out-link URLs to stable page ids first (seen-but-unfetched
+	// targets get their pages-table row here — the durable half of the
+	// crawl frontier), then publish the page's derived state as one batch:
+	// the tf/ term record, the lnk/ adjacency record, and the rin/ delta
+	// of every target. Consumers see all of it or none of it, from memory
+	// while hot, from the kvstore cold tier once GC folds it, and again
+	// after a restart recovers the fold.
+	e.links.publish(pageID, e.resolveLinks(content.Links), encodeCounts(tf))
 
 	e.idx.AddCounts(pageID, tf)
 	e.stats.PagesIndexed.Add(1)
@@ -359,13 +358,19 @@ func (e *Engine) fetchAndIndexSlow(pageID int64, url string) map[string]int {
 		r["fetched"] = rdbms.Bool(true)
 		return r
 	})
-	for _, l := range content.Links {
-		lid, err := e.ensurePage(l)
-		if err == nil {
-			e.g.AddEdge(pageID, lid)
+	return tf
+}
+
+// resolveLinks maps out-link URLs to stable page ids, creating rows for
+// URLs never seen before (the durable half of the crawl frontier).
+func (e *Engine) resolveLinks(urls []string) []int64 {
+	links := make([]int64, 0, len(urls))
+	for _, l := range urls {
+		if lid, err := e.ensurePage(l); err == nil {
+			links = append(links, lid)
 		}
 	}
-	return tf
+	return links
 }
 
 // classifyForUser places the page into the user's folder space as a guess

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"memex/internal/graph"
+	"memex/internal/version"
+)
+
+// This file makes the hyperlink graph a first-class versioned derived
+// record, owned by the version store exactly like the term-count record:
+//
+//	lnk/<page>  the page's full out-link adjacency (sorted page ids)
+//	rin/<page>  the page's full in-link adjacency (sorted page ids)
+//
+// Every edge write — a fetch's discovered out-links, a visit's
+// referrer→page transition — goes through linkIndex.publish, which stages
+// the updated lnk/ record of the source page plus the updated rin/ record
+// of every newly linked target into one version-store batch (the fetch
+// path adds the page's tf/ record to the same batch, so a snapshot can
+// never see a page's terms without its links). GC folds the records to
+// the cold tier with everything else, so the link graph survives
+// restarts: reloadDerived replays the recovered lnk/ records into the
+// in-memory authority graph at Open, which is what lets Discover resume
+// its crawl frontier — every seen-but-unfetched URL is a recovered graph
+// node whose row the pages table kept — without re-fetching anything.
+//
+// Reads never touch the authority graph: analysis passes pin a
+// DerivedView and decode lnk/rin records at one frozen epoch (the
+// graph.AdjacencySource implementation in derived.go). The authority
+// graph exists for the producer side only: publish needs the current
+// adjacency to compute the next record (a read-modify-write), and the
+// single linkMu below makes those RMWs atomic, so every published record
+// is the union of all edges published before it.
+
+// lnkKey names a page's out-adjacency record in the version store.
+func lnkKey(page int64) string { return "lnk/" + strconv.FormatInt(page, 10) }
+
+// rinKey names a page's reverse (in-link) adjacency record.
+func rinKey(page int64) string { return "rin/" + strconv.FormatInt(page, 10) }
+
+// pageOfLnkKey is the inverse of lnkKey (ok=false for foreign keys).
+func pageOfLnkKey(key string) (int64, bool) {
+	if !strings.HasPrefix(key, "lnk/") {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(key[4:], 10, 64)
+	return id, err == nil
+}
+
+// linkIndex is the engine's link-graph producer: the in-memory authority
+// adjacency (a graph.Graph rebuilt from recovered records at Open) plus
+// the mutex that serialises adjacency read-modify-writes against the
+// version store. Publishing under one lock guarantees the epoch order of
+// lnk/rin records matches their union order, so last-writer-wins in the
+// store always yields the full accumulated adjacency.
+type linkIndex struct {
+	vs *version.Store
+	mu sync.Mutex
+	g  *graph.Graph
+}
+
+func newLinkIndex(vs *version.Store) *linkIndex {
+	return &linkIndex{vs: vs, g: graph.New()}
+}
+
+// publish records the edges from→targets: any edge not yet in the
+// authority graph is staged as an updated lnk/ record for from plus an
+// updated rin/ record per new target and published as one batch. tfBlob,
+// when non-nil, is the page's term-count record riding in the same batch
+// (the fetch path), making term and link state snapshot-atomic per page;
+// a tf-carrying call always publishes (even with zero links) so
+// "archived" implies "adjacency known" for every snapshot that sees the
+// page.
+//
+// Only epoch allocation, the adjacency-union reads and the authority
+// application run under the lock. That ordering makes record content
+// monotone in epoch order — a publisher that allocates a later epoch has
+// already observed every earlier publisher's edges — so the expensive
+// half (encoding the records, freezing and installing the batch) runs
+// outside the lock and concurrent fetch workers publish in parallel;
+// last-writer-wins in the store then always yields the full union, even
+// when batches reach Publish out of epoch order.
+func (li *linkIndex) publish(from int64, targets []int64, tfBlob []byte) {
+	b, outs, fresh, ins := li.stage(from, targets, tfBlob != nil)
+	if b == nil {
+		return // nothing new: no epoch, no record churn
+	}
+	// The deferred Abort is a no-op after Publish but completes the epoch
+	// if encoding panics — a leaked epoch would stall the watermark
+	// forever under the contiguity rule. (On that panic path the
+	// authority is ahead of the records until a later publish re-unions
+	// the page; edges are never lost in-process, only un-persisted.)
+	defer b.Abort()
+	if tfBlob != nil {
+		b.Put(tfKey(from), tfBlob)
+	}
+	b.Put(lnkKey(from), encodeIDSet(outs))
+	for i, t := range fresh {
+		b.Put(rinKey(t), encodeIDSet(ins[i]))
+	}
+	b.Publish()
+}
+
+// stage is publish's locked half: dedupe the new edges, allocate the
+// epoch, capture the post-union adjacency slices, and apply the edges to
+// the authority. A panic anywhere inside still releases the lock and
+// completes the epoch (both deferred), so a wedged worker cannot stall
+// every future publish or the watermark. Returns a nil batch when there
+// is nothing to publish.
+func (li *linkIndex) stage(from int64, targets []int64, force bool) (b *version.Batch, outs, fresh []int64, ins [][]int64) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	seen := map[int64]bool{}
+	for _, t := range targets {
+		if t == from || seen[t] || li.g.HasEdge(from, t) {
+			continue
+		}
+		seen[t] = true
+		fresh = append(fresh, t)
+	}
+	if !force && len(fresh) == 0 {
+		return nil, nil, nil, nil
+	}
+	b = li.vs.BeginSized(2 + len(fresh))
+	committed := false
+	defer func() {
+		if !committed {
+			b.Abort()
+			b = nil
+		}
+	}()
+	outs = append(li.g.Out(from), fresh...)
+	ins = make([][]int64, len(fresh))
+	for i, t := range fresh {
+		ins[i] = append(li.g.In(t), from)
+	}
+	li.g.ApplyOut(from, fresh)
+	committed = true
+	return b, outs, fresh, ins
+}
+
+// applyRecovered replays one recovered lnk/ record into the authority
+// graph (Open's reload path; records already exist, nothing publishes).
+func (li *linkIndex) applyRecovered(from int64, outs []int64) {
+	li.g.ApplyOut(from, outs)
+}
+
+// Out returns the authority graph's current out-adjacency — the live
+// fallback for pages published after a pass pinned its view.
+func (li *linkIndex) Out(page int64) []int64 { return li.g.Out(page) }
+
+// Counts reports authority graph size for Status.
+func (li *linkIndex) Counts() (nodes, edges int) {
+	return li.g.NodeCount(), li.g.EdgeCount()
+}
+
+// --- adjacency codec ---
+//
+// Adjacency records store a sorted id set, delta-encoded: uvarint(n),
+// then per id uvarint(id - previous). Like the term-count codec, nothing
+// in the blob is process-local, so records written by one life of the
+// server decode in the next.
+
+// encodeIDSet canonicalises ids (sort, dedupe) and serialises them.
+func encodeIDSet(ids []int64) []byte {
+	set := append([]int64(nil), ids...)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	n := 0
+	for i, id := range set {
+		if i > 0 && id == set[n-1] {
+			continue
+		}
+		set[n] = id
+		n++
+	}
+	set = set[:n]
+	buf := make([]byte, 0, binary.MaxVarintLen64*(len(set)+1))
+	buf = binary.AppendUvarint(buf, uint64(len(set)))
+	prev := int64(0)
+	for _, id := range set {
+		buf = binary.AppendUvarint(buf, uint64(id-prev))
+		prev = id
+	}
+	return buf
+}
+
+// decodeIDSet is the inverse of encodeIDSet (nil, false on corrupt input;
+// an empty set decodes to a non-nil empty slice so callers can tell
+// "known, no links" from "unknown").
+func decodeIDSet(b []byte) ([]int64, bool) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, false
+	}
+	b = b[w:]
+	// Every id costs at least one byte, so a count exceeding the payload
+	// is corruption — reject it before sizing the slice (a huge bogus
+	// count would otherwise panic in make instead of failing gracefully).
+	if n > uint64(len(b)) {
+		return nil, false
+	}
+	ids := make([]int64, 0, n)
+	prev := int64(0)
+	for i := uint64(0); i < n; i++ {
+		d, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, false
+		}
+		b = b[w:]
+		prev += int64(d)
+		ids = append(ids, prev)
+	}
+	return ids, true
+}

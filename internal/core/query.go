@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -177,8 +178,12 @@ func (e *Engine) Trails(user int64, folder string, k int) TrailContext {
 	// Resolve graph ranking before touching metadata, then decorate both
 	// page lists under a single read lock — the per-element lock churn
 	// here used to cost one RLock/RUnlock round trip per popular page.
+	// The popularity ranking reads the same pinned view as the topic
+	// classification: HITS runs over the lnk/rin adjacency records at the
+	// view's epoch, so a concurrent fetch can't warp the neighbourhood
+	// mid-ranking, and a restarted server ranks from recovered records.
 	top := tg.Top(k)
-	popular := trails.Popular(tg, e.g, k)
+	popular := trails.Popular(tg, view, k)
 	e.mu.RLock()
 	for _, p := range top {
 		ctx.Pages = append(ctx.Pages, PageInfo{
@@ -383,6 +388,43 @@ func (e *Engine) Recommend(user int64, k int, byProfile bool) []PageInfo {
 		visited[u] = set
 	}
 	eng := recommend.NewEngine(profiles, visited)
+	// Link-proximity signal: a candidate page a hop away from something
+	// the user already surfed (either direction, at the view's epoch)
+	// outranks an unconnected candidate with the same peer mass — the
+	// trail-mining intuition that nearby pages extend the user's own
+	// paths. Reading the same pinned view keeps the boost consistent with
+	// the profiles and reproducible from recovered records.
+	mine := visited[user]
+	boost := map[int64]float64{}
+	scanned := map[int64]bool{}
+	for u, set := range visited {
+		if u == user || len(mine) == 0 {
+			// No history ⇒ no page can be near it; skip the record
+			// decodes rather than compute a guaranteed-empty boost.
+			continue
+		}
+		for p := range set {
+			if mine[p] || scanned[p] {
+				continue
+			}
+			scanned[p] = true
+			near := 0
+			for _, q := range view.Out(p) {
+				if mine[q] {
+					near++
+				}
+			}
+			for _, q := range view.In(p) {
+				if mine[q] {
+					near++
+				}
+			}
+			if near > 0 {
+				boost[p] = 1 + math.Log1p(float64(near))
+			}
+		}
+	}
+	eng.SetPageScores(boost)
 	method := recommend.ByProfile
 	if !byProfile {
 		method = recommend.ByURLOverlap
@@ -420,22 +462,40 @@ func (e *Engine) Discover(user int64, folder string, budget, k int) []PageInfo {
 	if ci < 0 {
 		return nil
 	}
-	rel := func(content string) float64 {
-		// Posterior mass of the target folder per the user's model.
-		post := model.Posteriors(textTermCounts(content))
+	rel := func(fr crawler.FetchResult) float64 {
+		// Posterior mass of the target folder per the user's model. The
+		// counts are either the page's recovered tf/ record or freshly
+		// tokenized content — byte-identical by construction, so the
+		// frontier priorities (and hence the crawl) don't depend on which
+		// tier served the page.
+		counts := fr.Counts
+		if counts == nil {
+			counts = textTermCounts(fr.Text)
+		}
+		post := model.Posteriors(counts)
 		return post[ci]
 	}
 	// One pinned view covers the whole crawl: every "already archived"
-	// check the crawl's fetch path performs reads the same epoch, so a
-	// concurrent fetch demon can't flip a page's status mid-crawl. The
-	// crawl is single-goroutine, matching the view's contract.
+	// check — and every archived page's term counts and out-links — reads
+	// the same epoch, so a concurrent fetch demon can't flip a page's
+	// status mid-crawl. The crawl is single-goroutine, matching the
+	// view's contract.
 	view := e.DerivedSnapshot()
 	defer view.Release()
 	fetcher := &engineFetcher{e: e, view: view}
 	res := crawler.Crawl(fetcher, rel, seeds, crawler.Options{
 		Budget: budget, Focused: true, Threshold: 0.5,
 	})
-	top := crawler.Discovery(res, func(p int64) []int64 { return e.g.Out(p) }, k)
+	// Discovery ranks by link mass. Pages archived before the pin read
+	// their adjacency record from the view; pages this very crawl fetched
+	// published after the pin, so they fall back to the live authority.
+	outLinks := func(p int64) []int64 {
+		if outs, ok := view.OutKnown(p); ok {
+			return outs
+		}
+		return e.links.Out(p)
+	}
+	top := crawler.Discovery(res, outLinks, k)
 	out := make([]PageInfo, 0, len(top))
 	e.mu.RLock()
 	for _, p := range top {
@@ -445,39 +505,55 @@ func (e *Engine) Discover(user int64, folder string, budget, k int) []PageInfo {
 	return out
 }
 
-// engineFetcher adapts the engine's PageSource + page table to the
-// crawler's Fetcher interface, resolving link URLs to page ids as it
-// goes. view is the crawl's pinned DerivedView; its snapshot answers the
-// fetch path's "already archived" checks for the whole crawl.
+// engineFetcher adapts the engine's archive + PageSource to the crawler's
+// Fetcher interface. view is the crawl's pinned DerivedView: pages whose
+// derived records are visible in it are served entirely from the version
+// store — term counts from tf/, adjacency from lnk/ — with zero network
+// fetches, which is what lets a restarted server re-propose its whole
+// pre-crash frontier without touching the source. Only genuinely new
+// pages hit the PageSource and go through the normal fetch/publish path.
 type engineFetcher struct {
 	e    *Engine
 	view *DerivedView
 }
 
-// Fetch implements crawler.Fetcher. Crawled pages are indexed through the
+// Fetch implements crawler.Fetcher. New pages are indexed through the
 // normal fetch path (as the paper's discovery demons do), so discovered
-// resources are immediately searchable and carry metadata.
+// resources are immediately searchable and carry metadata. Links are
+// returned in sorted id order from both tiers, keeping the frontier —
+// and therefore the crawl — identical no matter which tier serves a page.
 func (f *engineFetcher) Fetch(page int64) (crawler.FetchResult, bool) {
 	e := f.e
+	if tf := f.view.TermCounts(page); tf != nil {
+		return crawler.FetchResult{Page: page, Counts: tf, Links: f.view.Out(page)}, true
+	}
+	// Archived after the view's pin (a concurrent visit or crawl): the
+	// page is invisible at this crawl's epoch, and re-fetching it from
+	// the source would only lose the claim race after paying for network
+	// and tokenize work. Skip it; the next crawl's view will serve it.
+	if e.derivedPublished(page) {
+		return crawler.FetchResult{}, false
+	}
 	e.mu.RLock()
 	url := e.urlOf[page]
 	e.mu.RUnlock()
 	if url == "" {
 		return crawler.FetchResult{}, false
 	}
-	content, ok := e.cfg.Source.Lookup(url)
-	if !ok {
+	tf := e.fetchAndIndexSlow(page, url)
+	if tf == nil {
 		return crawler.FetchResult{}, false
 	}
-	e.fetchAndIndexView(page, url, f.view)
-	links := make([]int64, 0, len(content.Links))
-	for _, l := range content.Links {
-		if id, err := e.ensurePage(l); err == nil {
-			links = append(links, id)
-			e.g.AddEdge(page, id)
-		}
-	}
-	return crawler.FetchResult{Page: page, Text: content.Title + " " + content.Text, Links: links}, true
+	// Read the page's links from the authority, not from the raw content:
+	// the published lnk/ record is the union of content out-links and any
+	// earlier visit-referrer edges, which is exactly what a future life
+	// serving this page from the archive will see — the frontier must not
+	// depend on which tier served the page. (fetchAndIndexSlow guarantees
+	// the authority holds at least the content links by the time it
+	// returns, on both sides of the claim race.)
+	sorted := e.links.Out(page)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return crawler.FetchResult{Page: page, Counts: tf, Links: sorted}, true
 }
 
 // textTermCounts converts raw content into the classifier's term counts.

@@ -14,11 +14,18 @@ import (
 	"sort"
 )
 
-// FetchResult is one fetched page: its text and out-links.
+// FetchResult is one fetched page: its content and out-links. Content
+// arrives either as raw text (a live or synthetic web fetch) or as
+// pre-computed term counts (a page served from the archive's versioned
+// derived records, where the raw text was never persisted) — whichever
+// the Fetcher has cheapest.
 type FetchResult struct {
-	Page  int64
-	Text  string
-	Links []int64
+	Page int64
+	// Text is the page's raw content; empty when Counts is set.
+	Text string
+	// Counts is the page's term-count record; nil when Text is set.
+	Counts map[string]int
+	Links  []int64
 }
 
 // Fetcher retrieves pages by id. Implementations may simulate latency.
@@ -26,10 +33,11 @@ type Fetcher interface {
 	Fetch(page int64) (FetchResult, bool)
 }
 
-// Relevance scores a page's text for the crawl topic in [0,1]; the focused
-// crawler typically wraps the Memex classifier's posterior for the target
-// topic.
-type Relevance func(text string) float64
+// Relevance scores a fetched page for the crawl topic in [0,1]; the
+// focused crawler typically wraps the Memex classifier's posterior for
+// the target topic. Scorers must handle whichever content form (Text or
+// Counts) their Fetcher produces.
+type Relevance func(fr FetchResult) float64
 
 // Result summarises a crawl.
 type Result struct {
@@ -114,7 +122,7 @@ func Crawl(f Fetcher, rel Relevance, seeds []int64, opts Options) *Result {
 		if !ok {
 			continue
 		}
-		score := rel(fr.Text)
+		score := rel(fr)
 		res.Fetched = append(res.Fetched, it.page)
 		res.Relevant = append(res.Relevant, score >= opts.Threshold)
 		res.Scores[it.page] = score

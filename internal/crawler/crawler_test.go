@@ -26,8 +26,8 @@ func topicRelevance(c *webcorpus.Corpus, leafID int) Relevance {
 	leaf := c.Topics[leafID]
 	top := c.Topics[leaf.Parent]
 	prefix := top.Name + "_" + leaf.Name
-	return func(text string) float64 {
-		words := strings.Fields(text)
+	return func(fr FetchResult) float64 {
+		words := strings.Fields(fr.Text)
 		if len(words) == 0 {
 			return 0
 		}

@@ -27,8 +27,8 @@ func E6(seed int64) *Report {
 	leaf := corpus.Leaves()[0]
 	top := corpus.Topics[leaf.Parent]
 	prefix := top.Name + "_" + leaf.Name
-	rel := func(content string) float64 {
-		words := strings.Fields(content)
+	rel := func(fr crawler.FetchResult) float64 {
+		words := strings.Fields(fr.Text)
 		if len(words) == 0 {
 			return 0
 		}

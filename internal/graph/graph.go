@@ -3,6 +3,16 @@
 // neighbourhood expansion, and the link-analysis primitives the mining
 // demons use — HITS hubs/authorities over a focused subgraph (resource
 // discovery) and PageRank (popularity near the community trail graph).
+//
+// # Adjacency sources and pinned views
+//
+// The analysis primitives are written against AdjacencySource, not the
+// concrete Graph: any per-page adjacency provider — the mutable in-memory
+// Graph here, or a snapshot-pinned view decoding versioned adjacency
+// records (core.DerivedView) — can feed neighbourhood expansion
+// (ExpandFrom) and HITS (HITSOver). That is what lets the engine run a
+// whole trail-replay or discovery pass against one frozen epoch of the
+// link graph while ingest keeps publishing edges.
 package graph
 
 import (
@@ -10,6 +20,17 @@ import (
 	"sort"
 	"sync"
 )
+
+// AdjacencySource is per-page directed adjacency: the read interface the
+// link-analysis primitives consume. Has reports whether the page is known
+// to the graph at all (a page can be known yet have no links). Returned
+// slices must not be mutated by callers; implementations may return
+// shared memoized slices.
+type AdjacencySource interface {
+	Out(page int64) []int64
+	In(page int64) []int64
+	Has(page int64) bool
+}
 
 // Graph is a directed graph over int64 node ids. Safe for concurrent use.
 type Graph struct {
@@ -44,22 +65,35 @@ func (g *Graph) ensure(id int64) {
 }
 
 // AddEdge inserts the directed edge from→to (idempotent; self-loops are
-// dropped).
+// dropped entirely — unlike ApplyOut, a pure self-loop creates no node).
 func (g *Graph) AddEdge(from, to int64) {
 	if from == to {
 		return
 	}
+	g.ApplyOut(from, []int64{to})
+}
+
+// ApplyOut merges one page's out-adjacency delta into the graph: every
+// edge from→each target is added idempotently and the node exists
+// afterwards even when outs is empty. This is the incremental build step
+// for graphs reconstructed from versioned adjacency records.
+func (g *Graph) ApplyOut(from int64, outs []int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	key := [2]int64{from, to}
-	if g.edges[key] {
-		return
-	}
-	g.edges[key] = true
 	g.ensure(from)
-	g.ensure(to)
-	g.out[from] = append(g.out[from], to)
-	g.in[to] = append(g.in[to], from)
+	for _, to := range outs {
+		if to == from {
+			continue
+		}
+		key := [2]int64{from, to}
+		if g.edges[key] {
+			continue
+		}
+		g.edges[key] = true
+		g.ensure(to)
+		g.out[from] = append(g.out[from], to)
+		g.in[to] = append(g.in[to], from)
+	}
 }
 
 // HasEdge reports whether from→to exists.
@@ -67,6 +101,14 @@ func (g *Graph) HasEdge(from, to int64) bool {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.edges[[2]int64{from, to}]
+}
+
+// Has reports whether the node is known to the graph.
+func (g *Graph) Has(id int64) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.out[id]
+	return ok
 }
 
 // Out returns a copy of the out-neighbours of id.
@@ -133,13 +175,20 @@ func (g *Graph) EdgeCount() int {
 // (including the seeds), capped at maxNodes (0 = unlimited). This is the
 // "limited radius neighbourhood" expansion used for trail context graphs.
 func (g *Graph) Expand(seeds []int64, radius, maxNodes int) []int64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	return ExpandFrom(g, seeds, radius, maxNodes)
+}
+
+// ExpandFrom is Expand over any adjacency source: seeds unknown to the
+// source are dropped, then the undirected neighbourhood grows breadth-
+// first (out-neighbours before in-neighbours, source order) until the
+// radius or the node cap is reached. Against a pinned view the whole
+// expansion reads one frozen epoch of the link graph.
+func ExpandFrom(src AdjacencySource, seeds []int64, radius, maxNodes int) []int64 {
 	seen := map[int64]bool{}
 	frontier := make([]int64, 0, len(seeds))
 	var out []int64
 	for _, s := range seeds {
-		if _, ok := g.out[s]; !ok {
+		if !src.Has(s) {
 			continue
 		}
 		if !seen[s] {
@@ -151,7 +200,7 @@ func (g *Graph) Expand(seeds []int64, radius, maxNodes int) []int64 {
 	for r := 0; r < radius; r++ {
 		var next []int64
 		for _, u := range frontier {
-			for _, vs := range [][]int64{g.out[u], g.in[u]} {
+			for _, vs := range [][]int64{src.Out(u), src.In(u)} {
 				for _, v := range vs {
 					if seen[v] {
 						continue
@@ -212,6 +261,14 @@ func (s Scores) Top(k int) []int64 {
 // HITS runs Kleinberg's algorithm on the subgraph induced by nodes for the
 // given iterations, returning hub and authority scores (L2-normalized).
 func (g *Graph) HITS(nodes []int64, iterations int) (hubs, auths Scores) {
+	return HITSOver(g, nodes, iterations)
+}
+
+// HITSOver is HITS over any adjacency source. The induced subgraph is
+// materialised once up front (one Out/In read per node), so the power
+// iterations touch the source — which may be decoding versioned records —
+// exactly |nodes| times regardless of the iteration count.
+func HITSOver(src AdjacencySource, nodes []int64, iterations int) (hubs, auths Scores) {
 	if iterations <= 0 {
 		iterations = 20
 	}
@@ -219,32 +276,40 @@ func (g *Graph) HITS(nodes []int64, iterations int) (hubs, auths Scores) {
 	for _, n := range nodes {
 		in[n] = true
 	}
+	outAdj := make(map[int64][]int64, len(nodes))
+	inAdj := make(map[int64][]int64, len(nodes))
+	for _, n := range nodes {
+		for _, v := range src.Out(n) {
+			if in[v] {
+				outAdj[n] = append(outAdj[n], v)
+			}
+		}
+		for _, u := range src.In(n) {
+			if in[u] {
+				inAdj[n] = append(inAdj[n], u)
+			}
+		}
+	}
 	hubs = make(Scores, len(nodes))
 	auths = make(Scores, len(nodes))
 	for _, n := range nodes {
 		hubs[n] = 1
 		auths[n] = 1
 	}
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	for it := 0; it < iterations; it++ {
 		// auth = sum of hub scores of in-links.
 		for _, n := range nodes {
 			var s float64
-			for _, u := range g.in[n] {
-				if in[u] {
-					s += hubs[u]
-				}
+			for _, u := range inAdj[n] {
+				s += hubs[u]
 			}
 			auths[n] = s
 		}
 		normalizeScores(auths)
 		for _, n := range nodes {
 			var s float64
-			for _, v := range g.out[n] {
-				if in[v] {
-					s += auths[v]
-				}
+			for _, v := range outAdj[n] {
+				s += auths[v]
 			}
 			hubs[n] = s
 		}

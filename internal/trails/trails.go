@@ -165,15 +165,17 @@ func Replay(visits []Visit, f Filter, gap time.Duration, now time.Time, halfLife
 }
 
 // Popular returns the k most authoritative pages in or near the trail
-// graph: the trail nodes are expanded radius-1 into the full web graph g,
-// HITS runs on the induced subgraph, and authorities are returned in
+// graph: the trail nodes are expanded radius-1 into the web graph behind
+// g, HITS runs on the induced subgraph, and authorities are returned in
 // descending order. This answers "are there popular sites related to my
-// experience that appeared recently?".
-func Popular(tg *TrailGraph, g *graph.Graph, k int) []int64 {
+// experience that appeared recently?". g is any adjacency source — the
+// engine passes a snapshot-pinned view over its versioned link records,
+// so the whole ranking reads one frozen epoch of the link graph.
+func Popular(tg *TrailGraph, g graph.AdjacencySource, k int) []int64 {
 	if len(tg.Nodes) == 0 {
 		return nil
 	}
-	neighborhood := g.Expand(tg.Nodes, 1, 4*len(tg.Nodes)+64)
+	neighborhood := graph.ExpandFrom(g, tg.Nodes, 1, 4*len(tg.Nodes)+64)
 	if len(neighborhood) == 0 {
 		// Trail pages unknown to the web graph: fall back to trail weight.
 		if k > len(tg.Nodes) {
@@ -181,7 +183,7 @@ func Popular(tg *TrailGraph, g *graph.Graph, k int) []int64 {
 		}
 		return append([]int64(nil), tg.Nodes[:k]...)
 	}
-	_, auths := g.HITS(neighborhood, 20)
+	_, auths := graph.HITSOver(g, neighborhood, 20)
 	return auths.Top(k)
 }
 
