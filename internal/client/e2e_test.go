@@ -312,8 +312,13 @@ func TestEndToEndRestartRecoversDerivedState(t *testing.T) {
 	if stPost.Version.Cold == nil || stPost.Version.Cold.Records == 0 {
 		t.Fatal("/api/status reports no cold-tier records after restart")
 	}
-	if stPost.Version.Watermark != stPre.Version.Watermark {
-		t.Fatalf("restart lost epochs: watermark %d, want %d", stPost.Version.Watermark, stPre.Version.Watermark)
+	// Shutdown may append one more epoch after the pre-restart status
+	// snapshot (Close consolidates long in-link chunk chains into their
+	// base records before the final fold), so the recovered watermark can
+	// sit above the observed one — but never below it: below would mean
+	// published epochs were lost across the restart.
+	if stPost.Version.Watermark < stPre.Version.Watermark {
+		t.Fatalf("restart lost epochs: watermark %d, want >= %d", stPost.Version.Watermark, stPre.Version.Watermark)
 	}
 	if stPost.PagesIndexed != stPre.PagesIndexed {
 		t.Fatalf("index rebuilt with %d docs, want %d", stPost.PagesIndexed, stPre.PagesIndexed)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -48,16 +49,26 @@ func pageOfTFKey(key string) (int64, bool) {
 // and never re-crawls a page whose derived state survived. Recovered
 // lnk/ records rebuild both adjacency directions (every reverse edge is
 // the inversion of some out-edge, so rin/ records need no replay — they
-// exist for pinned-view reads). Runs during Open, single-threaded,
-// before any demon starts.
+// exist for pinned-view reads). Recovered rinD/ delta chunks feed only
+// the per-page seq counters: the next life must append its chunks after
+// the recovered generation, not overwrite it (an overwritten chunk would
+// shadow the old one's edge out of every later view). Runs during Open,
+// single-threaded, before any demon starts.
 func (e *Engine) reloadDerived() int {
 	view := e.DerivedSnapshot()
 	defer view.Release()
 	n := 0
+	chunkSeq := map[int64]int{}
 	view.sn.Range(func(key string, raw []byte) bool {
 		if page, ok := pageOfLnkKey(key); ok {
 			if outs, ok := decodeIDSet(raw); ok {
 				e.links.applyRecovered(page, outs)
+			}
+			return true
+		}
+		if page, seq, ok := pageOfRinChunkKey(key); ok {
+			if seq+1 > chunkSeq[page] {
+				chunkSeq[page] = seq + 1
 			}
 			return true
 		}
@@ -76,6 +87,7 @@ func (e *Engine) reloadDerived() int {
 		n++
 		return true
 	})
+	e.links.resumeChunks(chunkSeq)
 	return n
 }
 
@@ -110,10 +122,12 @@ func (e *Engine) derivedPublished(pageID int64) bool {
 // whole pass), exactly like a page that was never fetched.
 //
 // The view is also the pinned face of the link graph: Out, In and Has
-// decode the page's lnk/rin adjacency records at the view's epoch,
-// satisfying graph.AdjacencySource, so trail ranking, link-proximity
-// recommendation and crawl-frontier checks all read the same frozen
-// graph their term-stat reads come from.
+// decode the page's adjacency records at the view's epoch — lnk/ for
+// out-links, and for in-links the base rin/ record merged with its
+// rinD/ delta chunks (see links.go for the chunk scheme) — satisfying
+// graph.AdjacencySource, so trail ranking, link-proximity recommendation
+// and crawl-frontier checks all read the same frozen graph their
+// term-stat reads come from.
 //
 // Decoded records are memoized per view — a usage or replay pass reads
 // the same few pages many times — so a DerivedView is for a single
@@ -190,10 +204,62 @@ func (v *DerivedView) OutKnown(page int64) ([]int64, bool) {
 	return ids, ids != nil
 }
 
-// In returns the page's in-link adjacency (the rin/ reverse record) as of
-// the view's epoch. In implements part of graph.AdjacencySource.
+// In returns the page's in-link adjacency as of the view's epoch: the
+// base rin/ record merged with every rinD/ delta chunk, canonicalised
+// (sorted, deduped) and memoized. Chunk seqs are dense from 0 within a
+// generation and the watermark only advances contiguously, so probing
+// seq 0,1,2,… until the first miss sees exactly the chunks published at
+// or below the pinned epoch — including across a consolidation, whose
+// batch replaces the chunks with tombstones and the base atomically. A
+// page with neither base nor decodable chunks stays nil (unknown),
+// preserving the nil-vs-empty contract of graph.AdjacencySource. In
+// implements part of graph.AdjacencySource.
 func (v *DerivedView) In(page int64) []int64 {
-	return v.adj(v.in, rinKey(page), page)
+	if ids, ok := v.in[page]; ok {
+		return ids
+	}
+	var ids []int64
+	known := false
+	if raw, ok := v.sn.Get(rinKey(page)); ok {
+		if dec, ok := decodeIDSet(raw); ok {
+			ids, known = dec, true
+		}
+	}
+	for seq := 0; ; seq++ {
+		raw, ok := v.sn.Get(rinChunkKey(page, seq))
+		if !ok {
+			break
+		}
+		// A corrupt chunk is skipped but does not stop the probe: the
+		// chunks behind it are independent deltas, still worth merging.
+		if dec, ok := decodeIDSet(raw); ok {
+			ids = append(ids, dec...)
+			known = true
+		}
+	}
+	if known {
+		ids = canonIDs(ids)
+	}
+	v.in[page] = ids
+	return ids
+}
+
+// canonIDs sorts and dedupes ids in place, returning a non-nil slice even
+// for empty input (the "known, no links" shape).
+func canonIDs(ids []int64) []int64 {
+	if ids == nil {
+		return []int64{}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n := 0
+	for i, id := range ids {
+		if i > 0 && id == ids[n-1] {
+			continue
+		}
+		ids[n] = id
+		n++
+	}
+	return ids[:n]
 }
 
 // Has reports whether the page is known to the link graph at the view's
@@ -227,18 +293,25 @@ func (v *DerivedView) Vector(page int64) (text.Vector, bool) {
 // future process reading it back from the cold tier.
 
 // encodeCounts serializes term counts as uvarint(n) then per term
-// uvarint(len), bytes, uvarint(count).
+// uvarint(len), bytes, uvarint(count) — terms in sorted order, so equal
+// count maps always encode to byte-identical blobs. Map-order iteration
+// here would break the record-level determinism the restart tests pin
+// (two lives encoding the same counts must produce the same bytes) and
+// churn the cold tier with spurious rewrites of unchanged records.
 func encodeCounts(tf map[string]int) []byte {
+	terms := make([]string, 0, len(tf))
 	size := binary.MaxVarintLen64
 	for term := range tf {
+		terms = append(terms, term)
 		size += len(term) + 2*binary.MaxVarintLen64
 	}
+	sort.Strings(terms)
 	buf := make([]byte, 0, size)
 	buf = binary.AppendUvarint(buf, uint64(len(tf)))
-	for term, n := range tf {
+	for _, term := range terms {
 		buf = binary.AppendUvarint(buf, uint64(len(term)))
 		buf = append(buf, term...)
-		buf = binary.AppendUvarint(buf, uint64(n))
+		buf = binary.AppendUvarint(buf, uint64(tf[term]))
 	}
 	return buf
 }
@@ -250,6 +323,14 @@ func decodeCounts(b []byte) map[string]int {
 		return nil
 	}
 	b = b[w:]
+	// Every term entry costs at least two bytes (length uvarint + count
+	// uvarint), so a count exceeding the payload is corruption — reject
+	// it before sizing the map, the same bound decodeIDSet enforces. A
+	// corrupt cold-tier record could otherwise demand a ~2^60-entry
+	// allocation and OOM the process instead of degrading to "unknown".
+	if n > uint64(len(b)) {
+		return nil
+	}
 	tf := make(map[string]int, n)
 	for i := uint64(0); i < n; i++ {
 		l, w := binary.Uvarint(b)

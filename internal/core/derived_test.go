@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"reflect"
 	"sync"
@@ -36,6 +37,56 @@ func TestCountsCodecRoundTrip(t *testing.T) {
 	}
 	if decodeCounts([]byte{2, 200, 1}) != nil {
 		t.Fatal("truncated counts decoded")
+	}
+}
+
+// TestCountsDecodeBoundsAllocation: a corrupt record whose header claims
+// ~2^60 entries must decode to nil instead of sizing a map for it — the
+// count-vs-payload bound decodeIDSet already enforced, now applied to
+// term counts too (a single flipped cold-tier byte is enough to produce
+// such a header).
+func TestCountsDecodeBoundsAllocation(t *testing.T) {
+	huge := binary.AppendUvarint(nil, 1<<60)
+	if decodeCounts(huge) != nil {
+		t.Fatal("decoded a 2^60-entry claim")
+	}
+	// Same header followed by a plausible-looking byte or two.
+	if decodeCounts(append(huge, 1, 'a')) != nil {
+		t.Fatal("decoded an impossible count with payload")
+	}
+	// The bound must not reject genuine small records whose count equals
+	// the remaining payload exactly (one empty term, count 0 = 2 bytes).
+	if tf := decodeCounts([]byte{1, 0, 7}); tf == nil || tf[""] != 7 {
+		t.Fatalf("rejected minimal valid record: %v", tf)
+	}
+}
+
+// TestCountsEncodeDeterministic: equal count maps must encode to
+// byte-identical blobs regardless of map iteration order — the
+// record-level half of the determinism guarantee (identical archives
+// produce identical cold tiers; re-publishing unchanged counts cannot
+// churn the store with spurious rewrites).
+func TestCountsEncodeDeterministic(t *testing.T) {
+	tf := map[string]int{}
+	for i := 0; i < 200; i++ {
+		tf[fmt.Sprintf("term-%03d", i)] = i + 1
+	}
+	// A second map with the same content, built in reverse.
+	tf2 := map[string]int{}
+	for i := 199; i >= 0; i-- {
+		tf2[fmt.Sprintf("term-%03d", i)] = i + 1
+	}
+	want := encodeCounts(tf)
+	for i := 0; i < 20; i++ {
+		if got := encodeCounts(tf); !bytes.Equal(got, want) {
+			t.Fatal("same map encoded differently across calls")
+		}
+		if got := encodeCounts(tf2); !bytes.Equal(got, want) {
+			t.Fatal("equal maps encoded differently")
+		}
+	}
+	if !reflect.DeepEqual(decodeCounts(want), tf) {
+		t.Fatal("sorted encoding broke the round trip")
 	}
 }
 

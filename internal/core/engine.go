@@ -371,10 +371,18 @@ func (e *Engine) startDemons() {
 	if e.cfg.VersionGCInterval > 0 {
 		// Compaction of superseded version-store layers runs as its own
 		// demon so neither the publish path nor snapshot readers pay it.
+		// In-link chunk consolidation runs first: folding each hub page's
+		// accumulated rinD/ delta chunks into its base record (plus
+		// tombstones) right before GC means the fold writes one
+		// consolidated record to the cold tier and reclaims the chunk
+		// records, keeping read-side merge chains and reopen scans short.
 		e.pool.Add(&demon.Periodic{
 			TaskName: "version-gc",
 			Interval: e.cfg.VersionGCInterval,
-			Tick:     func() { e.vs.GC() },
+			Tick: func() {
+				e.links.consolidate(rinConsolidateThreshold)
+				e.vs.GC()
+			},
 		})
 	}
 	e.pool.Start()
@@ -475,6 +483,11 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	e.queue.Close()
 	e.pool.Stop()
+	// Consolidate long in-link chunk chains before the final fold so the
+	// archive reopens from short chains (chains under the threshold stay
+	// chunked — cheaper than rewriting every base at every shutdown, and
+	// the next life's reads merge them identically).
+	e.links.consolidate(rinConsolidateThreshold)
 	if err := e.vs.Close(); err != nil {
 		e.kv.Close()
 		return err

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"memex/internal/graph"
 	"memex/internal/version"
@@ -14,23 +15,60 @@ import (
 // This file makes the hyperlink graph a first-class versioned derived
 // record, owned by the version store exactly like the term-count record:
 //
-//	lnk/<page>  the page's full out-link adjacency (sorted page ids)
-//	rin/<page>  the page's full in-link adjacency (sorted page ids)
+//	lnk/<page>        the page's full out-link adjacency (sorted page ids)
+//	rin/<page>        the page's base in-link record (sorted page ids)
+//	rinD/<page>/<seq> one append-only in-link delta chunk (sorted page ids)
+//
+// # Why in-links are chunked
+//
+// Out-adjacency is cheap to keep as one record: a page's out-links arrive
+// together (its fetch) and rarely grow afterwards. In-links are the
+// opposite — a popular hub page accumulates them one at a time, from every
+// other page that links to it, forever. Rewriting the full rin/ record per
+// new edge costs O(in-degree) bytes per edge — O(in-degree²) cumulative
+// churn through the version store and cold tier, concentrated on exactly
+// the authority pages HITS-style trail mining cares about most. So the
+// write path appends instead: a target's first-ever in-link creates the
+// base rin/ record, and every in-link after that publishes a tiny
+// rinD/<page>/<seq> delta chunk holding only the batch's new sources —
+// O(new edges) bytes per publish, flat in in-degree
+// (BenchmarkInLinkWriteAmplification keeps this honest).
+//
+// # Chunk-chain invariants
+//
+//   - Within one "generation" the live chunk seqs for a page are dense
+//     from 0: seqs are allocated under linkMu, and a snapshot's watermark
+//     only advances over contiguously completed epochs, so any pinned view
+//     sees a dense prefix. Readers therefore probe seq 0,1,2,… until the
+//     first miss — no chunk-count metadata record is needed.
+//   - Consolidation (linkIndex.consolidate, driven by the engine's
+//     version-gc demon and by Close) folds a page's chunks back into one
+//     base record: a single batch puts the merged rin/ record, tombstones
+//     every chunk of the generation, and resets the seq counter, starting
+//     the next generation at seq 0. The batch is atomic in the store, so
+//     no view can see the base without the tombstones; GC then folds the
+//     tombstones through to the cold tier, where they reclaim the disk
+//     chunks — chains stay short and reopen stays cheap.
+//   - Backward compatibility: an archive written before chunking existed
+//     holds only full rin/ records, which are exactly a base with zero
+//     chunks — DerivedView.In merges base + chunks, so pre-chunk, mixed,
+//     and fully chunked archives all decode through the same path.
 //
 // Every edge write — a fetch's discovered out-links, a visit's
 // referrer→page transition — goes through linkIndex.publish, which stages
-// the updated lnk/ record of the source page plus the updated rin/ record
-// of every newly linked target into one version-store batch (the fetch
-// path adds the page's tf/ record to the same batch, so a snapshot can
-// never see a page's terms without its links). GC folds the records to
-// the cold tier with everything else, so the link graph survives
-// restarts: reloadDerived replays the recovered lnk/ records into the
-// in-memory authority graph at Open, which is what lets Discover resume
-// its crawl frontier — every seen-but-unfetched URL is a recovered graph
-// node whose row the pages table kept — without re-fetching anything.
+// the updated lnk/ record of the source page plus one in-link record
+// (base or delta chunk) per newly linked target into one version-store
+// batch (the fetch path adds the page's tf/ record to the same batch, so
+// a snapshot can never see a page's terms without its links). GC folds
+// the records to the cold tier with everything else, so the link graph
+// survives restarts: reloadDerived replays the recovered lnk/ records
+// into the in-memory authority graph at Open — and resumes each page's
+// chunk seq counter above its recovered chunks, so a restarted server
+// appends instead of overwriting — which is what lets Discover resume its
+// crawl frontier without re-fetching anything.
 //
 // Reads never touch the authority graph: analysis passes pin a
-// DerivedView and decode lnk/rin records at one frozen epoch (the
+// DerivedView and decode lnk/rin/rinD records at one frozen epoch (the
 // graph.AdjacencySource implementation in derived.go). The authority
 // graph exists for the producer side only: publish needs the current
 // adjacency to compute the next record (a read-modify-write), and the
@@ -40,8 +78,13 @@ import (
 // lnkKey names a page's out-adjacency record in the version store.
 func lnkKey(page int64) string { return "lnk/" + strconv.FormatInt(page, 10) }
 
-// rinKey names a page's reverse (in-link) adjacency record.
+// rinKey names a page's base reverse (in-link) adjacency record.
 func rinKey(page int64) string { return "rin/" + strconv.FormatInt(page, 10) }
+
+// rinChunkKey names one in-link delta chunk of a page.
+func rinChunkKey(page int64, seq int) string {
+	return "rinD/" + strconv.FormatInt(page, 10) + "/" + strconv.Itoa(seq)
+}
 
 // pageOfLnkKey is the inverse of lnkKey (ok=false for foreign keys).
 func pageOfLnkKey(key string) (int64, bool) {
@@ -52,70 +95,123 @@ func pageOfLnkKey(key string) (int64, bool) {
 	return id, err == nil
 }
 
+// pageOfRinChunkKey is the inverse of rinChunkKey (ok=false for foreign
+// keys, including plain rin/ base records).
+func pageOfRinChunkKey(key string) (page int64, seq int, ok bool) {
+	rest, found := strings.CutPrefix(key, "rinD/")
+	if !found {
+		return 0, 0, false
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash < 0 {
+		return 0, 0, false
+	}
+	page, err := strconv.ParseInt(rest[:slash], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	seq, err = strconv.Atoi(rest[slash+1:])
+	if err != nil || seq < 0 {
+		return 0, 0, false
+	}
+	return page, seq, true
+}
+
+// rinConsolidateThreshold is the chunk-chain length at which the periodic
+// consolidation pass (and Close) folds a page's chunks into its base
+// record. It bounds both the read-side merge (In probes at most this many
+// chunks plus the base between GC ticks, modulo publishes since the last
+// tick) and the amortized write cost: one O(in-degree) base rewrite per
+// threshold new edges.
+const rinConsolidateThreshold = 8
+
 // linkIndex is the engine's link-graph producer: the in-memory authority
 // adjacency (a graph.Graph rebuilt from recovered records at Open) plus
 // the mutex that serialises adjacency read-modify-writes against the
 // version store. Publishing under one lock guarantees the epoch order of
 // lnk/rin records matches their union order, so last-writer-wins in the
-// store always yields the full accumulated adjacency.
+// store always yields the full accumulated adjacency — and guarantees the
+// dense-seq invariant for delta chunks.
 type linkIndex struct {
 	vs *version.Store
 	mu sync.Mutex
 	g  *graph.Graph
+	// chunks counts each page's live delta chunks (== the next seq to
+	// allocate: live seqs are dense from 0 within a generation). Guarded
+	// by mu; consolidation resets entries to start the next generation.
+	chunks map[int64]int
+	// rinBytes accumulates the payload bytes of every published in-link
+	// record (base, chunk, or consolidation rewrite) — the write-
+	// amplification metric BenchmarkInLinkWriteAmplification reports.
+	rinBytes atomic.Int64
 }
 
 func newLinkIndex(vs *version.Store) *linkIndex {
-	return &linkIndex{vs: vs, g: graph.New()}
+	return &linkIndex{vs: vs, g: graph.New(), chunks: map[int64]int{}}
+}
+
+// rinPut is one staged in-link record: the base record of a target's
+// first in-link, or a delta chunk for a target that already has some.
+type rinPut struct {
+	key string
+	ids []int64
 }
 
 // publish records the edges from→targets: any edge not yet in the
-// authority graph is staged as an updated lnk/ record for from plus an
-// updated rin/ record per new target and published as one batch. tfBlob,
-// when non-nil, is the page's term-count record riding in the same batch
-// (the fetch path), making term and link state snapshot-atomic per page;
-// a tf-carrying call always publishes (even with zero links) so
-// "archived" implies "adjacency known" for every snapshot that sees the
-// page.
+// authority graph is staged as an updated lnk/ record for from plus one
+// in-link record per new target — the base rin/ record when this is the
+// target's first in-link, a rinD/ delta chunk holding just the new source
+// otherwise — and published as one batch. tfBlob, when non-nil, is the
+// page's term-count record riding in the same batch (the fetch path),
+// making term and link state snapshot-atomic per page; a tf-carrying call
+// always publishes (even with zero links) so "archived" implies
+// "adjacency known" for every snapshot that sees the page.
 //
-// Only epoch allocation, the adjacency-union reads and the authority
-// application run under the lock. That ordering makes record content
-// monotone in epoch order — a publisher that allocates a later epoch has
-// already observed every earlier publisher's edges — so the expensive
-// half (encoding the records, freezing and installing the batch) runs
-// outside the lock and concurrent fetch workers publish in parallel;
-// last-writer-wins in the store then always yields the full union, even
-// when batches reach Publish out of epoch order.
+// Only epoch allocation, the adjacency-union reads, seq allocation and
+// the authority application run under the lock. That ordering makes
+// record content monotone in epoch order — a publisher that allocates a
+// later epoch has already observed every earlier publisher's edges and
+// chunk seqs — so the expensive half (encoding the records, freezing and
+// installing the batch) runs outside the lock and concurrent fetch
+// workers publish in parallel; last-writer-wins in the store then always
+// yields the full union, even when batches reach Publish out of epoch
+// order.
 func (li *linkIndex) publish(from int64, targets []int64, tfBlob []byte) {
-	b, outs, fresh, ins := li.stage(from, targets, tfBlob != nil)
+	b, outs, rins := li.stage(from, targets, tfBlob != nil)
 	if b == nil {
 		return // nothing new: no epoch, no record churn
 	}
 	// The deferred Abort is a no-op after Publish but completes the epoch
 	// if encoding panics — a leaked epoch would stall the watermark
 	// forever under the contiguity rule. (On that panic path the
-	// authority is ahead of the records until a later publish re-unions
-	// the page; edges are never lost in-process, only un-persisted.)
+	// authority is ahead of the records until the next consolidation
+	// re-unions the target; edges are never lost in-process, only
+	// un-persisted.)
 	defer b.Abort()
 	if tfBlob != nil {
 		b.Put(tfKey(from), tfBlob)
 	}
 	b.Put(lnkKey(from), encodeIDSet(outs))
-	for i, t := range fresh {
-		b.Put(rinKey(t), encodeIDSet(ins[i]))
+	for _, r := range rins {
+		blob := encodeIDSet(r.ids)
+		li.rinBytes.Add(int64(len(blob)))
+		b.Put(r.key, blob)
 	}
 	b.Publish()
 }
 
 // stage is publish's locked half: dedupe the new edges, allocate the
-// epoch, capture the post-union adjacency slices, and apply the edges to
-// the authority. A panic anywhere inside still releases the lock and
-// completes the epoch (both deferred), so a wedged worker cannot stall
-// every future publish or the watermark. Returns a nil batch when there
-// is nothing to publish.
-func (li *linkIndex) stage(from int64, targets []int64, force bool) (b *version.Batch, outs, fresh []int64, ins [][]int64) {
+// epoch, capture the post-union out-adjacency, route each fresh target to
+// its in-link record (base for a first in-link, a freshly allocated delta
+// chunk otherwise), and apply the edges to the authority. A panic
+// anywhere inside still releases the lock and completes the epoch (both
+// deferred), so a wedged worker cannot stall every future publish or the
+// watermark. Returns a nil batch when there is nothing to publish.
+func (li *linkIndex) stage(from int64, targets []int64, force bool) (b *version.Batch, outs []int64, rins []rinPut) {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	seen := map[int64]bool{}
+	var fresh []int64
 	for _, t := range targets {
 		if t == from || seen[t] || li.g.HasEdge(from, t) {
 			continue
@@ -124,7 +220,7 @@ func (li *linkIndex) stage(from int64, targets []int64, force bool) (b *version.
 		fresh = append(fresh, t)
 	}
 	if !force && len(fresh) == 0 {
-		return nil, nil, nil, nil
+		return nil, nil, nil
 	}
 	b = li.vs.BeginSized(2 + len(fresh))
 	committed := false
@@ -135,19 +231,147 @@ func (li *linkIndex) stage(from int64, targets []int64, force bool) (b *version.
 		}
 	}()
 	outs = append(li.g.Out(from), fresh...)
-	ins = make([][]int64, len(fresh))
+	rins = make([]rinPut, len(fresh))
 	for i, t := range fresh {
-		ins[i] = append(li.g.In(t), from)
+		if li.g.InDegree(t) == 0 {
+			// First in-link ever: the base record is born with it, keeping
+			// the invariant that any page with chunks also has a base —
+			// and a page whose in-degree stays 1 (the common case in a
+			// long-tailed link graph) never grows a chunk chain at all.
+			rins[i] = rinPut{key: rinKey(t), ids: []int64{from}}
+			continue
+		}
+		seq := li.chunks[t]
+		li.chunks[t] = seq + 1
+		rins[i] = rinPut{key: rinChunkKey(t, seq), ids: []int64{from}}
 	}
 	li.g.ApplyOut(from, fresh)
 	committed = true
-	return b, outs, fresh, ins
+	return b, outs, rins
+}
+
+// consolidate folds every page whose chunk chain has reached threshold
+// back into a single base record: one batch per page puts the merged
+// rin/ record (the authority's full in-adjacency — which also re-unions
+// any edge a panicked publish failed to persist) and tombstones the
+// generation's chunks, and the page's next chunk generation starts at
+// seq 0. The engine's version-gc demon runs it ahead of each GC so the
+// subsequent fold writes one consolidated record to the cold tier and
+// the tombstones reclaim the disk chunks; Close runs it so reopen starts
+// from short chains. Returns the number of pages consolidated.
+//
+// Like publish, only the cheap half runs under the lock, and each page
+// is its own batch so the lock is held for one O(in-degree) adjacency
+// capture at a time — publishers interleave between pages rather than
+// stalling behind one capture of every hub's full in-list (the
+// lock-across-bulk-work shape PageRank just shed). The capture must stay
+// under the lock, though: read after unlock it could absorb an edge
+// whose chunk publishes at a later epoch, and a view pinned between the
+// two would see the edge in the in-record but not in its source's lnk/
+// record — a torn pair the one-batch-per-edge-write design exists to
+// prevent. Epoch order makes the counter reset safe: any chunk staged
+// for the same page after the lock drops gets a later epoch than the
+// consolidation batch, so its seq-0 record shadows the tombstone rather
+// than the other way round.
+func (li *linkIndex) consolidate(threshold int) int {
+	if threshold < 1 {
+		threshold = 1
+	}
+	li.mu.Lock()
+	var targets []int64
+	for t, n := range li.chunks {
+		if n >= threshold {
+			targets = append(targets, t)
+		}
+	}
+	li.mu.Unlock()
+	if len(targets) == 0 {
+		return 0
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	done := 0
+	for _, t := range targets {
+		if li.consolidateOne(t, threshold) {
+			done++
+		}
+	}
+	return done
+}
+
+// consolidateOne folds one page's chunk generation into its base record
+// (see consolidate). Publishing can in principle panic (batch misuse,
+// allocation failure mid-encode); the deferred recovery restores the
+// page's chunk counter so the generation resumes where it left off — a
+// restarted generation's next chunk would shadow the old seq-0 chunk's
+// edge out of every later view — and, because the restored count still
+// clears the threshold, the next GC tick retries the fold immediately.
+func (li *linkIndex) consolidateOne(t int64, threshold int) bool {
+	li.mu.Lock()
+	count := li.chunks[t]
+	if count < threshold {
+		// Lost a race with another consolidation pass (e.g. Close vs the
+		// GC demon's final tick): nothing left to fold here.
+		li.mu.Unlock()
+		return false
+	}
+	merged := li.g.In(t)
+	delete(li.chunks, t)
+	b := li.vs.BeginSized(1 + count)
+	li.mu.Unlock()
+
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		b.Abort() // completes the epoch so the watermark cannot stall
+		li.mu.Lock()
+		if count > li.chunks[t] {
+			li.chunks[t] = count
+		}
+		li.mu.Unlock()
+	}()
+	blob := encodeIDSet(merged)
+	li.rinBytes.Add(int64(len(blob)))
+	b.Put(rinKey(t), blob)
+	for seq := 0; seq < count; seq++ {
+		b.Delete(rinChunkKey(t, seq))
+	}
+	b.Publish()
+	committed = true
+	return true
 }
 
 // applyRecovered replays one recovered lnk/ record into the authority
 // graph (Open's reload path; records already exist, nothing publishes).
 func (li *linkIndex) applyRecovered(from int64, outs []int64) {
 	li.g.ApplyOut(from, outs)
+}
+
+// resumeChunks installs the recovered per-page chunk counts (Open's
+// reload path): nextSeq maps page → one past its highest live chunk seq,
+// so the next delta appends after the recovered generation instead of
+// overwriting it.
+func (li *linkIndex) resumeChunks(nextSeq map[int64]int) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	for page, n := range nextSeq {
+		if n > li.chunks[page] {
+			li.chunks[page] = n
+		}
+	}
+}
+
+// pendingChunks reports the number of live delta chunks across all pages
+// (observability and tests).
+func (li *linkIndex) pendingChunks() int {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	n := 0
+	for _, c := range li.chunks {
+		n += c
+	}
+	return n
 }
 
 // Out returns the authority graph's current out-adjacency — the live
@@ -164,21 +388,13 @@ func (li *linkIndex) Counts() (nodes, edges int) {
 // Adjacency records store a sorted id set, delta-encoded: uvarint(n),
 // then per id uvarint(id - previous). Like the term-count codec, nothing
 // in the blob is process-local, so records written by one life of the
-// server decode in the next.
+// server decode in the next. Base records and delta chunks share the
+// codec; a chunk is simply a small set.
 
-// encodeIDSet canonicalises ids (sort, dedupe) and serialises them.
+// encodeIDSet canonicalises ids (sort, dedupe — canonIDs in derived.go,
+// shared with the read-side chunk merge) and serialises them.
 func encodeIDSet(ids []int64) []byte {
-	set := append([]int64(nil), ids...)
-	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
-	n := 0
-	for i, id := range set {
-		if i > 0 && id == set[n-1] {
-			continue
-		}
-		set[n] = id
-		n++
-	}
-	set = set[:n]
+	set := canonIDs(append([]int64(nil), ids...))
 	buf := make([]byte, 0, binary.MaxVarintLen64*(len(set)+1))
 	buf = binary.AppendUvarint(buf, uint64(len(set)))
 	prev := int64(0)

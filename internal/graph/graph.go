@@ -9,10 +9,16 @@
 // The analysis primitives are written against AdjacencySource, not the
 // concrete Graph: any per-page adjacency provider — the mutable in-memory
 // Graph here, or a snapshot-pinned view decoding versioned adjacency
-// records (core.DerivedView) — can feed neighbourhood expansion
-// (ExpandFrom) and HITS (HITSOver). That is what lets the engine run a
-// whole trail-replay or discovery pass against one frozen epoch of the
-// link graph while ingest keeps publishing edges.
+// records (core.DerivedView, whose In lazily merges a page's base in-link
+// record with its append-only delta chunks) — can feed neighbourhood
+// expansion (ExpandFrom) and HITS (HITSOver). That is what lets the
+// engine run a whole trail-replay or discovery pass against one frozen
+// epoch of the link graph while ingest keeps publishing edges. The
+// primitives read each page's adjacency a bounded number of times (HITS
+// materialises the induced subgraph once; PageRank snapshots the whole
+// adjacency before iterating), so a source that decodes records on demand
+// is never re-decoded per iteration — and the Graph's lock is never held
+// across an iteration loop.
 package graph
 
 import (
@@ -123,6 +129,15 @@ func (g *Graph) In(id int64) []int64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return append([]int64(nil), g.in[id]...)
+}
+
+// InDegree returns the number of in-neighbours of id without copying the
+// adjacency (the producer-side "does this page have any in-links yet"
+// check on every staged edge).
+func (g *Graph) InDegree(id int64) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.in[id])
 }
 
 // Neighbors returns the union of in- and out-neighbours.
@@ -319,6 +334,12 @@ func HITSOver(src AdjacencySource, nodes []int64, iterations int) (hubs, auths S
 }
 
 // PageRank runs the standard damped power iteration over the whole graph.
+//
+// The graph lock is held only long enough to snapshot the adjacency — one
+// O(V+E) copy — not across the power loop: holding the RLock for the full
+// run stalled every concurrent ApplyOut (i.e. every ingest publish) for
+// ~30 iterations over the whole graph. The slices must be copied, not
+// shared: ApplyOut grows them with append, which can write in place.
 func (g *Graph) PageRank(damping float64, iterations int) Scores {
 	if damping <= 0 || damping >= 1 {
 		damping = 0.85
@@ -327,28 +348,34 @@ func (g *Graph) PageRank(damping float64, iterations int) Scores {
 		iterations = 30
 	}
 	g.mu.RLock()
-	defer g.mu.RUnlock()
 	n := len(g.out)
 	if n == 0 {
+		g.mu.RUnlock()
 		return Scores{}
 	}
+	out := make(map[int64][]int64, n)
+	for id, outs := range g.out {
+		out[id] = append([]int64(nil), outs...)
+	}
+	g.mu.RUnlock()
+
 	pr := make(Scores, n)
-	for id := range g.out {
+	for id := range out {
 		pr[id] = 1 / float64(n)
 	}
 	for it := 0; it < iterations; it++ {
 		next := make(Scores, n)
 		var dangling float64
-		for id, outs := range g.out {
+		for id, outs := range out {
 			if len(outs) == 0 {
 				dangling += pr[id]
 			}
 		}
 		base := (1-damping)/float64(n) + damping*dangling/float64(n)
-		for id := range g.out {
+		for id := range out {
 			next[id] = base
 		}
-		for id, outs := range g.out {
+		for id, outs := range out {
 			if len(outs) == 0 {
 				continue
 			}

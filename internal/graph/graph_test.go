@@ -190,3 +190,51 @@ func BenchmarkHITS(b *testing.B) {
 		g.HITS(nodes, 15)
 	}
 }
+
+// TestPageRankConcurrentWithApplyOut: PageRank snapshots the adjacency
+// and releases the graph lock before iterating, so concurrent ApplyOut
+// (every ingest publish) neither blocks for the power loop's duration nor
+// races its reads — ApplyOut grows adjacency slices with append, which
+// can write in place, so a PageRank sharing (rather than copying) them
+// would fail under -race. The scores must stay a valid distribution
+// regardless of how much of the concurrent growth each run observed.
+func TestPageRankConcurrentWithApplyOut(t *testing.T) {
+	g := New()
+	for i := int64(0); i < 200; i++ {
+		g.AddEdge(i, (i+1)%200)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 200; i++ {
+			g.ApplyOut(i, []int64{(i*7 + 3) % 200, i + 1000})
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		pr := g.PageRank(0.85, 10)
+		var sum float64
+		for _, v := range pr {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("run %d: PageRank mass = %f, want ~1", i, sum)
+		}
+	}
+	<-done
+}
+
+func TestInDegree(t *testing.T) {
+	g := New()
+	if g.InDegree(9) != 0 {
+		t.Fatal("unknown node has in-degree")
+	}
+	g.AddEdge(1, 9)
+	g.AddEdge(2, 9)
+	g.AddEdge(2, 9) // duplicate
+	if got := g.InDegree(9); got != 2 {
+		t.Fatalf("InDegree = %d, want 2", got)
+	}
+	if got := g.InDegree(1); got != 0 {
+		t.Fatalf("source InDegree = %d, want 0", got)
+	}
+}
