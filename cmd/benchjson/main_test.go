@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -58,5 +60,28 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(points) != 0 {
 		t.Fatalf("parsed noise as benchmarks: %+v", points)
+	}
+}
+
+func TestEmptyHistoryEmitsValidFile(t *testing.T) {
+	// A bench run that matched nothing (the first point in a repo's
+	// trajectory, or a filtered run) must still produce a parseable file
+	// with an empty — not null — benchmark list, and must not error.
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok  \tmemex\t0.1s\n"), &out, "abc1234", "2026-08-08"); err != nil {
+		t.Fatalf("empty history should not be an error: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.Bytes())
+	}
+	if f.Benchmarks == nil {
+		t.Fatal("benchmarks is null, want empty list")
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v, want empty", f.Benchmarks)
+	}
+	if f.Commit != "abc1234" || f.Date != "2026-08-08" {
+		t.Fatalf("metadata lost on empty run: %+v", f)
 	}
 }

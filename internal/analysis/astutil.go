@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Small AST helpers shared by the analyzers.
+
+// inspectWithStack walks root in depth-first order like ast.Inspect, but
+// passes each node's ancestor stack (outermost first, immediate parent
+// last). Returning false skips the node's children.
+func inspectWithStack(root ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !visit(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// methodCall unpacks a call of the form recv.Name(...).
+func methodCall(n ast.Node) (recv ast.Expr, name string, call *ast.CallExpr, ok bool) {
+	c, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return nil, "", nil, false
+	}
+	sel, isSel := c.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", nil, false
+	}
+	return sel.X, sel.Sel.Name, c, true
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// hasMethod reports whether t (or *t) has a method called name.
+func hasMethod(pkg *types.Package, t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, name)
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing function
+// (declaration or literal) on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// enclosingStmtList locates the statement list holding the statement that
+// contains the current node, returning the list, the statement's index in
+// it, and the statement itself. Works for blocks and switch/select clauses.
+func enclosingStmtList(stack []ast.Node) (list []ast.Stmt, idx int, stmt ast.Stmt) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var l []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			l = b.List
+		case *ast.CaseClause:
+			l = b.Body
+		case *ast.CommClause:
+			l = b.Body
+		default:
+			continue
+		}
+		if i+1 >= len(stack) {
+			continue
+		}
+		s, isStmt := stack[i+1].(ast.Stmt)
+		if !isStmt {
+			continue
+		}
+		for j, x := range l {
+			if x == s {
+				return l, j, s
+			}
+		}
+	}
+	return nil, -1, nil
+}
+
+// stmtLists collects every statement list in the subtree rooted at n.
+func stmtLists(n ast.Node) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			out = append(out, b.List)
+		case *ast.CaseClause:
+			out = append(out, b.Body)
+		case *ast.CommClause:
+			out = append(out, b.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// usedObject resolves an identifier to its object via Uses or Defs.
+func usedObject(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetMap enforces byte-deterministic codecs: inside encode/marshal
+// functions (and any file whose name contains "codec"), iterating a map
+// must not influence the encoded output. The version store's restart
+// contract compares records byte-for-byte — PR 5's encodeCounts ranged a
+// map straight into the output buffer, so equal term maps encoded to
+// different bytes across runs and the cold tier rewrote unchanged records
+// on every fold.
+//
+// Two shapes are flagged: writing output bytes inside a map-range body,
+// and collecting map keys into a slice that is never sorted afterwards.
+// The sanctioned pattern is collect → sort → encode.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "check that encode*/marshal*/codec functions never let map iteration order " +
+		"reach the encoded bytes (collect keys, sort, then encode)",
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Pos()).Filename
+		codecFile := strings.Contains(strings.ToLower(filepath.Base(file)), "codec")
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !codecFile && !isEncoderName(fn.Name.Name) {
+				continue
+			}
+			checkEncoder(pass, fn)
+		}
+	}
+	return nil
+}
+
+func isEncoderName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "encode") || strings.HasPrefix(l, "marshal")
+}
+
+func checkEncoder(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		if writesOutput(pass.TypesInfo, rng.Body) {
+			pass.Reportf(rng.Pos(), "%s iterates a map and writes output inside the loop: encoded bytes depend on map order; collect the keys, sort them, then encode",
+				fn.Name.Name)
+			return true
+		}
+		for _, obj := range collectedSlices(pass.TypesInfo, rng.Body) {
+			if !sortedInFunc(pass.TypesInfo, fn.Body, obj) {
+				pass.Reportf(rng.Pos(), "%s collects map keys into %s but never sorts it: whatever consumes %s inherits map iteration order",
+					fn.Name.Name, obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// writesOutput reports whether the loop body emits bytes: append to a
+// []byte, binary/strconv Append* helpers, Write* methods, or Fprint*.
+func writesOutput(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && len(call.Args) > 0 && isByteSlice(info, call.Args[0]) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if strings.HasPrefix(name, "Append") || strings.HasPrefix(name, "Fprint") ||
+				name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isByteSlice(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// collectedSlices returns the objects of non-byte slices appended to
+// inside the loop body (the collect-keys half of collect/sort/encode).
+func collectedSlices(info *types.Info, body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok || isByteSlice(info, id) {
+			return true
+		}
+		if obj := usedObject(info, id); obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedInFunc reports whether obj appears in the arguments of any
+// sort.*/slices.* call in the function body.
+func sortedInFunc(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		fn, ok := usedObject(info, sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return !found
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return !found
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, isIdent := m.(*ast.Ident); isIdent && usedObject(info, id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

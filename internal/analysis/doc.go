@@ -1,0 +1,92 @@
+// Package analysis is memexvet: a static-analysis suite that enforces,
+// at build time, the repo-specific invariants this codebase has broken —
+// and re-fixed — once per subsystem. Every analyzer encodes a bug class
+// that shipped in an earlier PR and that no off-the-shelf linter checks;
+// the suite runs in CI (the memexvet job and the Go 1.24 test leg) and
+// via `go run ./cmd/memexvet ./...`, so the next regression of one of
+// these contracts fails a merge instead of a production pass.
+//
+// # The invariants, and the bugs that motivated them
+//
+// pinleak — every version-store pin is released.
+//
+//	A version.Snapshot (Store.Acquire) or core.DerivedView
+//	(Engine.DerivedSnapshot) pins an entire immutable state of the
+//	store. GC's fold floor never exceeds the minimum pinned epoch, so
+//	one leaked pin freezes compaction and the cold-tier fold for the
+//	life of the process: the heap grows with every publish and the
+//	archive stops moving to disk. The analyzer requires every
+//	acquisition to be released on all paths — `defer v.Release()` or a
+//	dominating explicit call — and flags discarded or chained
+//	acquisitions (`s.Acquire().Get(k)`) whose pin can never be
+//	released. (Motivated by the pin-floor design of PRs 1–3, where a
+//	single leaked snapshot disables GC silently.)
+//
+// lockiter — no bulk iteration or blocking calls while holding a mutex.
+//
+//	PR 5 found Graph.PageRank holding g.mu.RLock across a ~30-iteration
+//	power loop over the whole graph, stalling every ingest publish
+//	behind a mining pass. The analyzer flags (a) syntactically nested
+//	loops and (b) calls into blocking APIs (net, net/http, os/exec,
+//	time.Sleep, io.ReadAll/Copy) executed while a sync.Mutex or
+//	sync.RWMutex is held. The sanctioned shape is snapshot-then-work:
+//	copy what you need under the lock, release it, then iterate
+//	(PageRank, StoreStats and Graph.Subgraph all do this now).
+//
+// detmap — codec output must not depend on map iteration order.
+//
+//	PR 5 fixed encodeCounts ranging a map straight into the output
+//	buffer: equal count maps encoded to different bytes across runs,
+//	which broke the restart tests' record-determinism contract and
+//	churned the cold tier with spurious rewrites of unchanged records.
+//	In encode*/marshal* functions (and files named *codec*), the
+//	analyzer flags ranging over a map while bytes are written to the
+//	output, and map-key collection loops whose collected slice is never
+//	sorted before use. The sanctioned shape is collect → sort → encode.
+//
+// epochbatch — one page's derived records publish in one batch.
+//
+//	A page's derived state — tf/ term counts, lnk/ out-links, rin*/
+//	in-link records — must land in a single version-store Batch so a
+//	snapshot can never observe a page's text without its place in the
+//	link graph (the torn-publish hole the PR 2 out-of-order-publish fix
+//	and PR 4's same-batch adjacency publish closed). The analyzer flags
+//	derived records for one page split across two batches in a
+//	function, and staging into a batch after its Publish/Abort.
+//
+// # Suppressions
+//
+// A finding that is a true exception — audited, with a reason — is
+// silenced in place:
+//
+//	//memexvet:ignore <analyzer> <reason…>
+//
+// written either as a trailing comment on the flagged line or as a
+// standalone comment on the line immediately above it; each directive
+// governs exactly one line. The analyzer name must be one of pinleak,
+// lockiter, detmap, epochbatch; the reason is mandatory. Suppressions are
+// themselves checked: a malformed directive (unknown analyzer, missing
+// reason) and a stale one (its line no longer triggers the named
+// analyzer) are both errors, so dead suppressions cannot accumulate and
+// hide future regressions.
+//
+// # Running it
+//
+// Standalone (what CI runs; analyzes non-test sources of the named
+// packages):
+//
+//	go run ./cmd/memexvet ./...
+//
+// As a vet tool (drives the same analyzers through `go vet`'s
+// unitchecker protocol, which includes _test.go files):
+//
+//	go build -o /tmp/memexvet ./cmd/memexvet
+//	go vet -vettool=/tmp/memexvet ./...
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// analysistest-style golden tests) but is built on the standard library
+// only — this module is dependency-free by policy — loading type
+// information from the build cache's export data via `go list -export`.
+// If the repo ever takes on x/tools, each Analyzer.Run ports across
+// nearly verbatim.
+package analysis

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PinLeak enforces the version store's pin lifecycle: every call that pins
+// a snapshot (Store.Acquire, Engine.DerivedSnapshot — recognized as any
+// method of those names whose result has a Release method) must release it
+// on all paths. A leaked pin silently freezes the GC fold floor: layers
+// behind the pinned epoch can never be compacted or folded to the cold
+// tier for the life of the process.
+var PinLeak = &Analyzer{
+	Name: "pinleak",
+	Doc: "check that every Acquire/DerivedSnapshot pin is released on all paths " +
+		"(defer, a dominating explicit Release, or ownership transfer)",
+	Run: runPinLeak,
+}
+
+// acquireMethods are the method names that create a pin.
+var acquireMethods = map[string]bool{
+	"Acquire":         true,
+	"DerivedSnapshot": true,
+}
+
+func runPinLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			_, name, call, ok := methodCall(n)
+			if !ok || !acquireMethods[name] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call]
+			if !ok || !hasMethod(pass.Pkg, tv.Type, "Release") {
+				return true
+			}
+			checkAcquisition(pass, name, call, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAcquisition classifies one pin-creating call by how its result is
+// consumed and reports it if the pin can leak.
+func checkAcquisition(pass *Pass, name string, call *ast.CallExpr, stack []ast.Node) {
+	parent := ast.Node(nil)
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, isParen := stack[i].(*ast.ParenExpr); isParen {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of %s() is discarded: the pin is never released and freezes the GC floor", name)
+
+	case *ast.SelectorExpr:
+		if p.Sel.Name == "Release" {
+			// s.Acquire().Release(): the pin dies in the same expression
+			// that created it (the acquire/release micro-benchmark shape).
+			return
+		}
+		// s.Acquire().Get(k): the temporary pin has no name, so nothing
+		// can ever release it.
+		pass.Reportf(call.Pos(), "%s() result is consumed without being stored: the pin can never be released", name)
+
+	case *ast.AssignStmt:
+		if len(p.Lhs) != 1 || len(p.Rhs) != 1 {
+			return
+		}
+		id, isIdent := p.Lhs[0].(*ast.Ident)
+		if !isIdent {
+			return // stored into a field or index: ownership transfers
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "result of %s() is assigned to _: the pin is never released", name)
+			return
+		}
+		checkPinnedVar(pass, name, call, id, stack)
+
+	default:
+		// Return value, composite literal, call argument, channel send…
+		// — ownership escapes this function; the consumer is responsible.
+	}
+}
+
+// checkPinnedVar verifies that the variable holding a pin is released on
+// all paths within its enclosing function.
+func checkPinnedVar(pass *Pass, name string, call *ast.CallExpr, id *ast.Ident, stack []ast.Node) {
+	obj := usedObject(pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return
+	}
+
+	if deferReleases(pass.TypesInfo, body, obj) || escapes(pass.TypesInfo, body, obj, id) {
+		return
+	}
+
+	// No defer and no escape: demand a dominating explicit Release in the
+	// acquisition's own statement list.
+	list, idx, _ := enclosingStmtList(stack)
+	relIdx := -1
+	for j := idx + 1; j < len(list); j++ {
+		if isReleaseStmt(pass.TypesInfo, list[j], obj) {
+			relIdx = j
+			break
+		}
+	}
+
+	if relIdx < 0 {
+		// Tolerate branch-structured releases (an explicit Release on
+		// every path of an if/switch) rather than reproducing a dominator
+		// analysis: any non-deferred Release in the function counts.
+		if anyRelease(pass.TypesInfo, body, obj) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s pins a snapshot here but is never released; add defer %s.Release()", id.Name, id.Name)
+		return
+	}
+
+	// Release found downstream in the same list: a return between the
+	// acquisition and the Release leaks the pin on that path (unless that
+	// branch released first itself).
+	for j := idx + 1; j < relIdx; j++ {
+		if ret := leakingReturn(pass.TypesInfo, list[j], obj); ret != nil {
+			pass.Reportf(call.Pos(), "%s is released at line %d, but the return at line %d leaks the pin; use defer %s.Release()",
+				id.Name, pass.Fset.Position(list[relIdx].Pos()).Line, pass.Fset.Position(ret.Pos()).Line, id.Name)
+			return
+		}
+	}
+}
+
+// isReleaseStmt reports whether stmt is exactly `obj.Release()`.
+func isReleaseStmt(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	return isReleaseCall(info, es.X, obj)
+}
+
+func isReleaseCall(info *types.Info, n ast.Node, obj types.Object) bool {
+	recv, name, _, ok := methodCall(n)
+	if !ok || name != "Release" {
+		return false
+	}
+	id, isIdent := recv.(*ast.Ident)
+	return isIdent && usedObject(info, id) == obj
+}
+
+// deferReleases reports whether the function body defers obj.Release(),
+// directly or inside a deferred closure.
+func deferReleases(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		if isReleaseCall(info, d.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, isLit := d.Call.Fun.(*ast.FuncLit); isLit {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if isReleaseCall(info, m, obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// anyRelease reports whether any non-deferred obj.Release() call exists in
+// the body.
+func anyRelease(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if isReleaseCall(info, n, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether obj is used in a way that transfers ownership of
+// the pin out of this function: returned, passed as an argument, stored
+// into a composite literal or another variable. Uses as a method-call or
+// field-access receiver do not count.
+func escapes(info *types.Info, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	esc := false
+	inspectWithStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if esc {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || usedObject(info, id) != obj {
+			return true
+		}
+		if len(stack) == 0 {
+			return true
+		}
+		switch p := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			if p.X == id {
+				return true // receiver or field access
+			}
+			esc = true
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == id {
+					return true // reassignment target
+				}
+			}
+			esc = true
+		case *ast.ValueSpec:
+			for _, nm := range p.Names {
+				if nm == id {
+					return true
+				}
+			}
+			esc = true
+		default:
+			esc = true
+		}
+		return true
+	})
+	return esc
+}
+
+// leakingReturn finds a return statement inside stmt that is not preceded,
+// in its own statement list, by an explicit obj.Release(). Function
+// literals are not descended into: their returns exit the closure, not
+// the function holding the pin.
+func leakingReturn(info *types.Info, stmt ast.Stmt, obj types.Object) *ast.ReturnStmt {
+	var leak *ast.ReturnStmt
+	if ret, ok := stmt.(*ast.ReturnStmt); ok {
+		return ret
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		released := false
+		for _, s := range list {
+			if isReleaseStmt(info, s, obj) {
+				released = true
+			}
+			if ret, ok := s.(*ast.ReturnStmt); ok && !released && leak == nil {
+				leak = ret
+			}
+		}
+		return true
+	})
+	return leak
+}

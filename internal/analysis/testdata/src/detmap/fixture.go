@@ -1,0 +1,70 @@
+// Fixture for the detmap analyzer: encode paths must not let map
+// iteration order reach the output bytes.
+package detmap
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// The PR 5 encodeCounts bug: ranging a map straight into the buffer.
+func encodeBad(counts map[string]int) []byte {
+	var buf []byte
+	for term, n := range counts { // want `encodeBad iterates a map and writes output inside the loop`
+		buf = append(buf, term...)
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	return buf
+}
+
+// Collecting the keys but forgetting the sort is the same bug one step
+// removed: the consumer inherits map order.
+func encodeUnsorted(counts map[string]int) []byte {
+	var terms []string
+	for term := range counts { // want `collects map keys into terms but never sorts it`
+		terms = append(terms, term)
+	}
+	var buf []byte
+	for _, term := range terms {
+		buf = append(buf, term...)
+		buf = binary.AppendUvarint(buf, uint64(counts[term]))
+	}
+	return buf
+}
+
+// The sanctioned collect → sort → encode shape (post-fix encodeCounts),
+// including size accumulation inside the collection loop.
+func encodeGood(counts map[string]int) []byte {
+	terms := make([]string, 0, len(counts))
+	size := 0
+	for term := range counts {
+		terms = append(terms, term)
+		size += len(term) + binary.MaxVarintLen64
+	}
+	sort.Strings(terms)
+	buf := make([]byte, 0, size)
+	for _, term := range terms {
+		buf = append(buf, term...)
+		buf = binary.AppendUvarint(buf, uint64(counts[term]))
+	}
+	return buf
+}
+
+// Not an encode/marshal function and not in a codec file: out of scope,
+// the caller owns ordering.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func encodeSuppressed(flags map[string]bool) []byte {
+	var buf []byte
+	//memexvet:ignore detmap fixture: output is order-independent (single XOR accumulator)
+	for k := range flags {
+		buf = append(buf, k[0])
+	}
+	return buf
+}

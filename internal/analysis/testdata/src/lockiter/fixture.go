@@ -1,0 +1,110 @@
+// Fixture for the lockiter analyzer: no nested iteration or blocking
+// calls while a sync mutex is held.
+package lockiter
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type Graph struct {
+	mu  sync.RWMutex
+	out map[int64][]int64
+}
+
+// The PR 5 PageRank shape: a power loop over the whole graph under the
+// read lock.
+func (g *Graph) bad() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, vs := range g.out { // want `nested iteration while holding g\.mu`
+		for range vs {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Graph) badSleep() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while holding g\.mu`
+	g.mu.Unlock()
+}
+
+func (g *Graph) badFetch(c *http.Client) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c.Get("http://example.invalid") // want `call to net/http\.Get while holding g\.mu`
+}
+
+// The sanctioned shape: snapshot under the lock, release, then iterate.
+func (g *Graph) goodSnapshotThenWork(nodes []int64) int {
+	outs := make([][]int64, len(nodes))
+	g.mu.RLock()
+	for i, u := range nodes {
+		outs[i] = g.out[u]
+	}
+	g.mu.RUnlock()
+	n := 0
+	for _, vs := range outs {
+		for range vs {
+			n++
+		}
+	}
+	return n
+}
+
+// A single-level walk under the lock is allowed.
+func (g *Graph) goodFlatLoop() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for range g.out {
+		n++
+	}
+	return n
+}
+
+// Unlocking inside the loop means the hold is not loop-long.
+func (g *Graph) goodUnlocksInside(nodes []int64) {
+	g.mu.RLock()
+	for _, u := range nodes {
+		if u == 0 {
+			g.mu.RUnlock()
+			return
+		}
+		for range g.out[u] {
+		}
+	}
+	g.mu.RUnlock()
+}
+
+// Goroutines spawned under the lock iterate on their own stack, not under
+// the caller's lock.
+func (g *Graph) goodGoroutine(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for id := range g.out {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			for range g.out[id] {
+			}
+		}(id)
+	}
+}
+
+func (g *Graph) suppressed() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	//memexvet:ignore lockiter fixture: bounded two-level walk audited as cheap
+	for _, vs := range g.out {
+		for range vs {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+// Fixture for the pinleak analyzer: pins must be released on all paths.
+package pinleak
+
+// Mini re-creation of the version store's pin surface: any method named
+// Acquire/DerivedSnapshot whose result has a Release method is a pin.
+
+type Snapshot struct{ epoch uint64 }
+
+func (s *Snapshot) Release()          {}
+func (s *Snapshot) Epoch() uint64     { return s.epoch }
+func (s *Snapshot) Get(k string) bool { return false }
+
+type Store struct{}
+
+func (s *Store) Acquire() *Snapshot { return &Snapshot{} }
+
+type View struct{ sn *Snapshot }
+
+func (v *View) Release() {}
+
+type Engine struct{ vs *Store }
+
+func (e *Engine) DerivedSnapshot() *View { return &View{sn: e.vs.Acquire()} }
+
+func discarded(s *Store) {
+	s.Acquire() // want `result of Acquire\(\) is discarded`
+}
+
+func chained(s *Store) bool {
+	return s.Acquire().Get("k") // want `Acquire\(\) result is consumed without being stored`
+}
+
+func blank(s *Store) {
+	_ = s.Acquire() // want `assigned to _`
+}
+
+func neverReleased(s *Store) uint64 {
+	snap := s.Acquire() // want `snap pins a snapshot here but is never released`
+	return snap.Epoch()
+}
+
+func leakOnEarlyReturn(s *Store, fail bool) bool {
+	snap := s.Acquire() // want `the return at line \d+ leaks the pin`
+	if fail {
+		return false
+	}
+	ok := snap.Get("k")
+	snap.Release()
+	return ok
+}
+
+func goodDefer(e *Engine) uint64 {
+	view := e.DerivedSnapshot()
+	defer view.Release()
+	return 7
+}
+
+func goodSameBlock(s *Store) bool {
+	snap := s.Acquire()
+	ok := snap.Get("k")
+	snap.Release()
+	return ok
+}
+
+func goodReleasedBranchBeforeReturn(s *Store, fail bool) bool {
+	snap := s.Acquire()
+	if fail {
+		snap.Release()
+		return false
+	}
+	ok := snap.Get("k")
+	snap.Release()
+	return ok
+}
+
+// Ownership transfer: the pin escapes inside a composite literal (the
+// DerivedSnapshot pattern itself) or to another function.
+func goodEscapes(s *Store) *View {
+	return &View{sn: s.Acquire()}
+}
+
+func consume(sn *Snapshot) { sn.Release() }
+
+func goodHandedOff(s *Store) {
+	snap := s.Acquire()
+	consume(snap)
+}
+
+func goodDeferredClosure(s *Store) {
+	snap := s.Acquire()
+	defer func() {
+		snap.Release()
+	}()
+	snap.Get("k")
+}
+
+func suppressed(s *Store) {
+	s.Acquire() //memexvet:ignore pinleak fixture: pin intentionally held for process lifetime
+}
+
+// The pin dies in the expression that created it: the acquire/release
+// micro-benchmark shape.
+func goodImmediateChainedRelease(s *Store) {
+	s.Acquire().Release()
+}
+
+// A return inside a closure exits the closure, not the function holding
+// the pin; the explicit Release below still dominates.
+func goodClosureReturnBeforeRelease(s *Store, walk func(func(string) bool)) {
+	sn := s.Acquire()
+	walk(func(k string) bool {
+		if k == "" {
+			return false
+		}
+		return true
+	})
+	sn.Release()
+}

@@ -214,6 +214,7 @@ func (e *Engine) RebuildThemes() themes.Stats {
 	}
 	var skels []folderSkel
 	e.mu.RLock()
+	//memexvet:ignore lockiter skeletonising under the lock IS the snapshot step: folder trees mutate in place, and the walk is bounded by users' folders, not the archive
 	for user, tree := range e.trees {
 		tree.Walk(func(f *folders.Folder) {
 			if f.Parent == nil || len(f.Entries) == 0 {

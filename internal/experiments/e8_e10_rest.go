@@ -248,6 +248,7 @@ func E9(seed int64) *Report {
 					for i, k := range keyNames {
 						sink.Add(analyze(state[k]))
 						if (i+1)%checkpointEvery == 0 {
+							//memexvet:ignore lockiter deliberately models the paper's rejected design: a checkpoint blocking the producer inside the lock
 							time.Sleep(checkpointCost) // persist partial aggregates
 						}
 					}

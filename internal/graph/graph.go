@@ -240,10 +240,18 @@ func (g *Graph) Subgraph(nodes []int64) (edges [][2]int64) {
 	for _, n := range nodes {
 		in[n] = true
 	}
+	// Capture the out-adjacency slice headers under the lock, then build
+	// the edge list outside it. The headers stay valid off-lock: ApplyOut
+	// only ever appends, so a captured header's [0:len) window is
+	// immutable even if the backing array is grown concurrently.
+	outs := make([][]int64, len(nodes))
 	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, u := range nodes {
-		for _, v := range g.out[u] {
+	for i, u := range nodes {
+		outs[i] = g.out[u]
+	}
+	g.mu.RUnlock()
+	for i, u := range nodes {
+		for _, v := range outs[i] {
 			if in[v] {
 				edges = append(edges, [2]int64{u, v})
 			}

@@ -400,6 +400,7 @@ func (s *Store) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 	if err != nil {
 		return err
 	}
+	//memexvet:ignore lockiter the read lock IS the scan's consistency contract: the B+tree has no versioned state to snapshot, and writers (fold, checkpoints) are background-paced
 	for id != nilPage {
 		p, err := s.tree.pg.get(id)
 		if err != nil {

@@ -132,6 +132,7 @@ func (ix *Index) Vacuum() {
 	if len(ix.deleted) == 0 {
 		return
 	}
+	//memexvet:ignore lockiter Vacuum rewrites the shared posting lists in place; the write lock is the operation, not incidental to it
 	for id, pl := range ix.postings {
 		out := pl[:0]
 		for _, p := range pl {
@@ -226,6 +227,7 @@ func (ix *Index) Search(query string, k int, scoring Scoring) []Hit {
 	avgLen := float64(ix.totalLen) / float64(nDocs)
 	scores := make(map[int64]float64)
 
+	//memexvet:ignore lockiter scoring needs one consistent posting set; the index mutates in place, and the walk is bounded by the query's terms, not the archive
 	for term, qn := range qtf {
 		id, ok := ix.dict.Lookup(term)
 		if !ok {
@@ -362,6 +364,7 @@ func (ix *Index) Save(store *kvstore.Store, prefix string) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	var batch []kvstore.KV
+	//memexvet:ignore lockiter Save needs one consistent cut of an in-place index; copying every posting list to shorten the hold would double memory for a checkpoint-rate call
 	for id, pl := range ix.postings {
 		term := ix.dict.Term(id)
 		var buf []byte

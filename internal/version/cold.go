@@ -596,6 +596,7 @@ func (s *Store) fold() (int, error) {
 	// as pure overwrites, so those shards probe before counting.
 	var pairs []kvstore.KV
 	written := make([]int64, n)
+	//memexvet:ignore lockiter foldMu only serialises background folds; no reader or publisher path ever waits on it
 	for i, m := range merged {
 		for k, r := range m {
 			var err error

@@ -143,13 +143,13 @@ func FuzzHotColdFallthrough(f *testing.F) {
 				ob := ensure()
 				k := key(arg)
 				v := []byte(fmt.Sprintf("%s@%d.%d", k, ob.b.Epoch(), arg))
-				ob.b.Put(k, v)
+				ob.b.Put(k, v) //memexvet:ignore epochbatch the fuzz driver interleaves ops on whatever batch ensure() hands back; the model oracle checks the outcome
 				ob.keys = append(ob.keys, k)
 				ob.pending = append(ob.pending, modelVer{epoch: ob.b.Epoch(), val: v})
 			case 1: // stage a delete
 				ob := ensure()
 				k := key(arg)
-				ob.b.Delete(k)
+				ob.b.Delete(k) //memexvet:ignore epochbatch same driver shape: ensure() only returns still-open batches
 				ob.keys = append(ob.keys, k)
 				ob.pending = append(ob.pending, modelVer{epoch: ob.b.Epoch(), deleted: true})
 			case 2: // open another concurrent batch

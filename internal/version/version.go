@@ -922,15 +922,25 @@ type Stats struct {
 
 // StoreStats returns current store statistics.
 func (s *Store) StoreStats() Stats {
+	// Only the producer-side bookkeeping needs s.mu. The shard-chain walk
+	// below is O(shards × layers) and runs against an installed state,
+	// which is immutable — holding the producer lock across it would
+	// stall every publisher behind a stats poll, so it happens off-lock.
+	// The two halves may straddle a concurrent publish; Stats is a
+	// point-in-time summary, not a consistent cut.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur := s.current.Load()
 	st := Stats{
-		Watermark:     cur.watermark,
 		PendingEpochs: len(s.completed),
 		GCReclaimed:   s.gcReclaimed,
-		Shards:        make([]ShardStats, len(cur.shards)),
 	}
+	for _, h := range s.history {
+		st.Pinned += int(h.pins.Load())
+	}
+	s.mu.Unlock()
+
+	cur := s.current.Load()
+	st.Watermark = cur.watermark
+	st.Shards = make([]ShardStats, len(cur.shards))
 	for i := range cur.shards {
 		sh := &st.Shards[i]
 		for l := cur.shards[i].head; l != nil; l = l.next {
@@ -941,9 +951,6 @@ func (s *Store) StoreStats() Stats {
 		if sh.Layers > st.Layers {
 			st.Layers = sh.Layers
 		}
-	}
-	for _, h := range s.history {
-		st.Pinned += int(h.pins.Load())
 	}
 	if s.cold != nil {
 		st.Cold = s.cold.stats()

@@ -13,6 +13,11 @@
 // for experiments) lives in internal/ packages and is documented in
 // DESIGN.md.
 //
+// The repo enforces its own cross-cutting invariants — pins released,
+// no iteration under locks, deterministic codecs, atomic derived-record
+// publishes — with a static-analysis suite run in CI; see
+// internal/analysis and `go run ./cmd/memexvet ./...`.
+//
 // Quickstart:
 //
 //	world := memex.GenerateWorld(memex.WorldConfig{Seed: 1})
