@@ -34,6 +34,7 @@ func main() {
 		themes = flag.Duration("themes", time.Minute, "theme-rebuild demon interval (0 = manual)")
 		train  = flag.Duration("train", 30*time.Second, "classifier-retrain demon interval (0 = manual)")
 		gc     = flag.Duration("gc", 0, "version-store GC/fold demon interval (0 = engine default of 2s, negative = manual)")
+		cache  = flag.Int64("cache", 0, "decoded-record cache budget in bytes (0 = engine default of 32 MiB, negative = disabled)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -48,6 +49,7 @@ func main() {
 		ThemeInterval: *themes,
 		TrainInterval: *train,
 		GCInterval:    *gc,
+		CacheBytes:    *cache,
 	})
 	if err != nil {
 		log.Fatalf("memexd: %v", err)

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ck(epoch uint64, page int64) cacheKey {
+	return cacheKey{epoch: epoch, page: page, kind: kindIn}
+}
+
+func TestRecordCacheHitMissAccounting(t *testing.T) {
+	c := newRecordCache(1 << 20)
+	if _, ok := c.get(ck(1, 1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(ck(1, 1), []int64{7}, 8)
+	if v, ok := c.get(ck(1, 1)); !ok {
+		t.Fatal("miss after put")
+	} else if ids := v.([]int64); len(ids) != 1 || ids[0] != 7 {
+		t.Fatalf("cached value = %v", ids)
+	}
+	// Different epoch, page or kind each miss independently.
+	if _, ok := c.get(ck(2, 1)); ok {
+		t.Fatal("epoch leaked across keys")
+	}
+	if _, ok := c.get(ck(1, 2)); ok {
+		t.Fatal("page leaked across keys")
+	}
+	if _, ok := c.get(cacheKey{epoch: 1, page: 1, kind: kindOut}); ok {
+		t.Fatal("kind leaked across keys")
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 1/4", st.Hits, st.Misses)
+	}
+	if st.Entries != 1 || st.Bytes != 8+entryOverhead || st.MaxBytes != 1<<20 {
+		t.Fatalf("entries/bytes/max = %d/%d/%d", st.Entries, st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestRecordCacheNegativeCaching(t *testing.T) {
+	c := newRecordCache(1 << 20)
+	// A typed nil ("no record at this epoch") is a cacheable value: the
+	// second lookup of an unknown page must hit, not fall through.
+	var none []int64
+	c.put(ck(3, 9), none, 0)
+	v, ok := c.get(ck(3, 9))
+	if !ok {
+		t.Fatal("cached negative entry missed")
+	}
+	if ids := v.([]int64); ids != nil {
+		t.Fatalf("negative entry = %v, want nil", ids)
+	}
+}
+
+func TestRecordCacheLRUEviction(t *testing.T) {
+	// Room for exactly two entries of size 4+entryOverhead.
+	c := newRecordCache(2 * (4 + entryOverhead))
+	c.put(ck(1, 1), []int64{1}, 4)
+	c.put(ck(1, 2), []int64{2}, 4)
+	// Touch page 1 so page 2 is the cold end.
+	if _, ok := c.get(ck(1, 1)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.put(ck(1, 3), []int64{3}, 4)
+	if _, ok := c.get(ck(1, 2)); ok {
+		t.Fatal("cold entry survived over-budget insert")
+	}
+	if _, ok := c.get(ck(1, 1)); !ok {
+		t.Fatal("recently-used entry evicted before cold one")
+	}
+	if _, ok := c.get(ck(1, 3)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	st := c.stats()
+	if st.EvictedLRU != 1 || st.EvictedFloor != 0 {
+		t.Fatalf("evictions = %d LRU / %d floor, want 1/0", st.EvictedLRU, st.EvictedFloor)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("size %d exceeds bound %d", st.Bytes, st.MaxBytes)
+	}
+}
+
+func TestRecordCacheDuplicatePutKeepsIncumbent(t *testing.T) {
+	c := newRecordCache(1 << 20)
+	first := []int64{1, 2}
+	c.put(ck(1, 1), first, 16)
+	c.put(ck(1, 1), []int64{1, 2}, 16)
+	v, _ := c.get(ck(1, 1))
+	if &v.([]int64)[0] != &first[0] {
+		t.Fatal("duplicate put replaced the incumbent value")
+	}
+	if st := c.stats(); st.Entries != 1 || st.Bytes != 16+entryOverhead {
+		t.Fatalf("duplicate put double-charged: %d entries, %d bytes", st.Entries, st.Bytes)
+	}
+}
+
+func TestRecordCacheEvictBelowFloor(t *testing.T) {
+	c := newRecordCache(1 << 20)
+	for epoch := uint64(1); epoch <= 5; epoch++ {
+		c.put(ck(epoch, int64(epoch)), []int64{int64(epoch)}, 8)
+	}
+	if n := c.evictBelow(4); n != 3 {
+		t.Fatalf("evictBelow dropped %d entries, want 3", n)
+	}
+	for epoch := uint64(1); epoch <= 3; epoch++ {
+		if _, ok := c.get(ck(epoch, int64(epoch))); ok {
+			t.Fatalf("epoch %d survived below the pin floor", epoch)
+		}
+	}
+	for epoch := uint64(4); epoch <= 5; epoch++ {
+		if _, ok := c.get(ck(epoch, int64(epoch))); !ok {
+			t.Fatalf("epoch %d at/above the floor was dropped", epoch)
+		}
+	}
+	st := c.stats()
+	if st.EvictedFloor != 3 || st.EvictedLRU != 0 {
+		t.Fatalf("evictions = %d floor / %d LRU, want 3/0", st.EvictedFloor, st.EvictedLRU)
+	}
+	if st.Entries != 2 || st.Bytes != 2*(8+entryOverhead) {
+		t.Fatalf("post-evict entries/bytes = %d/%d", st.Entries, st.Bytes)
+	}
+}
+
+func TestRecordCacheDisabled(t *testing.T) {
+	if c := newRecordCache(0); c != nil {
+		t.Fatal("zero budget built a cache (caller defaults, not the cache)")
+	}
+	if c := newRecordCache(-1); c != nil {
+		t.Fatal("negative budget built a cache")
+	}
+}
+
+func TestAdaptiveRinThreshold(t *testing.T) {
+	cases := []struct {
+		base, lifetime, want int
+	}{
+		{8, 0, 8},    // cold page: full base threshold
+		{8, 63, 8},   // just under the first churn tier
+		{8, 64, 4},   // 8×base: half
+		{8, 255, 4},  // still in the half tier
+		{8, 256, 2},  // 32×base: quarter
+		{8, 10000, 2},
+		{4, 32, 2},   // 8×4=32: half of 4
+		{4, 128, 2},  // quarter of 4 floors at 2
+		{2, 1000, 2}, // floor never exceeds base
+		{1, 0, 1},    // caller's base of 1 (Close, tests) wins over the floor
+		{1, 1000, 1},
+		{0, 0, 1}, // degenerate base clamps to 1
+	}
+	for _, tc := range cases {
+		if got := adaptiveRinThreshold(tc.base, tc.lifetime); got != tc.want {
+			t.Errorf("adaptiveRinThreshold(%d, %d) = %d, want %d", tc.base, tc.lifetime, got, tc.want)
+		}
+	}
+}
+
+func TestStartSeqCodecRoundtrip(t *testing.T) {
+	ids := []int64{3, 1, 4, 1, 5}
+	for _, start := range []int{0, 1, 7, 1000} {
+		blob := encodeIDSetStart(ids, start)
+		got, s, ok := decodeIDSetStart(blob)
+		if !ok || s != start {
+			t.Fatalf("start %d: decoded start %d ok=%v", start, s, ok)
+		}
+		want, _ := decodeIDSet(encodeIDSet(ids))
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("start %d: ids %v, want %v", start, got, want)
+		}
+		// The plain decoder must read the same id set regardless of the
+		// suffix (old readers on new records).
+		if plain, ok := decodeIDSet(blob); !ok || fmt.Sprint(plain) != fmt.Sprint(want) {
+			t.Fatalf("start %d: plain decode %v ok=%v", start, plain, ok)
+		}
+	}
+	// startSeq 0 must encode byte-identically to the legacy format.
+	if a, b := fmt.Sprint(encodeIDSetStart(ids, 0)), fmt.Sprint(encodeIDSet(ids)); a != b {
+		t.Fatalf("zero start not byte-identical to legacy: %s vs %s", a, b)
+	}
+	// A legacy suffix-free record decodes with start 0.
+	if _, s, ok := decodeIDSetStart(encodeIDSet(ids)); !ok || s != 0 {
+		t.Fatalf("legacy record: start %d ok=%v, want 0 true", s, ok)
+	}
+	// Trailing garbage that is not a valid whole-suffix uvarint is
+	// rejected, not misread as a start seq.
+	blob := append(encodeIDSet(ids), 0xff, 0xff, 0xff)
+	if _, s, ok := decodeIDSetStart(blob); ok {
+		t.Fatalf("garbage suffix decoded as start %d", s)
+	}
+}

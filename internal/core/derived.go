@@ -49,20 +49,29 @@ func pageOfTFKey(key string) (int64, bool) {
 // and never re-crawls a page whose derived state survived. Recovered
 // lnk/ records rebuild both adjacency directions (every reverse edge is
 // the inversion of some out-edge, so rin/ records need no replay — they
-// exist for pinned-view reads). Recovered rinD/ delta chunks feed only
-// the per-page seq counters: the next life must append its chunks after
-// the recovered generation, not overwrite it (an overwritten chunk would
-// shadow the old one's edge out of every later view). Runs during Open,
-// single-threaded, before any demon starts.
+// exist for pinned-view reads). Recovered rinD/ delta chunks and rin/
+// base records feed the per-page seq counters and generation starts:
+// chunk seqs are monotone per page, so the next life must resume both
+// the counter (past every live chunk and the base's start-seq) and the
+// start (so consolidation tombstones only the live window) — an
+// overwritten chunk would shadow the old one's edge out of every later
+// view. Runs during Open, single-threaded, before any demon starts.
 func (e *Engine) reloadDerived() int {
 	view := e.DerivedSnapshot()
 	defer view.Release()
 	n := 0
 	chunkSeq := map[int64]int{}
+	starts := map[int64]int{}
 	view.sn.Range(func(key string, raw []byte) bool {
 		if page, ok := pageOfLnkKey(key); ok {
 			if outs, ok := decodeIDSet(raw); ok {
 				e.links.applyRecovered(page, outs)
+			}
+			return true
+		}
+		if page, ok := pageOfRinKey(key); ok {
+			if _, s, ok := decodeIDSetStart(raw); ok && s > 0 {
+				starts[page] = s
 			}
 			return true
 		}
@@ -87,7 +96,7 @@ func (e *Engine) reloadDerived() int {
 		n++
 		return true
 	})
-	e.links.resumeChunks(chunkSeq)
+	e.links.resumeChunks(chunkSeq, starts)
 	return n
 }
 
@@ -132,24 +141,38 @@ func (e *Engine) derivedPublished(pageID int64) bool {
 // Decoded records are memoized per view — a usage or replay pass reads
 // the same few pages many times — so a DerivedView is for a single
 // goroutine, like the passes that hold one.
+//
+// Between the per-view memo and the store sits the engine's shared
+// decoded-record cache (cache.go), keyed by (epoch, page, kind): the
+// second pass over an unchanged epoch — or a concurrent pass over the
+// same one — reuses decoded values instead of re-walking chains and
+// re-decoding blobs. Published epochs are immutable, so the cache is
+// never invalidated in place, only evicted (LRU pressure, or the epoch
+// falling below the pin floor). Everything that comes out of the memo
+// or the cache is shared: callers must treat returned maps, slices and
+// vectors as read-only.
 type DerivedView struct {
-	sn   *version.Snapshot
-	dict *text.Dict
-	tf   map[int64]map[string]int
-	vec  map[int64]text.Vector
-	out  map[int64][]int64
-	in   map[int64][]int64
+	sn    *version.Snapshot
+	dict  *text.Dict
+	cache *recordCache // shared decoded-record cache; nil = uncached
+	hints *linkIndex   // live chunk-window bound for In; nil = probe to miss
+	tf    map[int64]map[string]int
+	vec   map[int64]text.Vector
+	out   map[int64][]int64
+	in    map[int64][]int64
 }
 
 // DerivedSnapshot pins the current derived-data epoch.
 func (e *Engine) DerivedSnapshot() *DerivedView {
 	return &DerivedView{
-		sn:   e.vs.Acquire(),
-		dict: e.dict,
-		tf:   map[int64]map[string]int{},
-		vec:  map[int64]text.Vector{},
-		out:  map[int64][]int64{},
-		in:   map[int64][]int64{},
+		sn:    e.vs.Acquire(),
+		dict:  e.dict,
+		cache: e.cache,
+		hints: e.links,
+		tf:    map[int64]map[string]int{},
+		vec:   map[int64]text.Vector{},
+		out:   map[int64][]int64{},
+		in:    map[int64][]int64{},
 	}
 }
 
@@ -160,25 +183,46 @@ func (v *DerivedView) Epoch() uint64 { return v.sn.Epoch() }
 func (v *DerivedView) Release() { v.sn.Release() }
 
 // TermCounts returns the page's term counts as of the view's epoch (nil
-// when the page had no fetched text as of the pin).
+// when the page had no fetched text as of the pin). The result is shared
+// through the record cache: treat it as read-only.
 func (v *DerivedView) TermCounts(page int64) map[string]int {
 	if tf, ok := v.tf[page]; ok {
 		return tf
+	}
+	ck := cacheKey{epoch: v.sn.Epoch(), page: page, kind: kindTF}
+	if v.cache != nil {
+		if val, ok := v.cache.get(ck); ok {
+			tf := val.(map[string]int)
+			v.tf[page] = tf
+			return tf
+		}
 	}
 	var tf map[string]int
 	if raw, ok := v.sn.Get(tfKey(page)); ok {
 		tf = decodeCounts(raw)
 	}
 	v.tf[page] = tf
+	if v.cache != nil {
+		v.cache.put(ck, tf, sizeofCounts(tf))
+	}
 	return tf
 }
 
-// adj decodes one adjacency record through a memo map. The memo stores
-// nil for "no record at this epoch" and a non-nil (possibly empty) slice
-// for a known page, mirroring decodeIDSet's contract.
-func (v *DerivedView) adj(memo map[int64][]int64, key string, page int64) []int64 {
+// adj decodes one adjacency record through a memo map and the shared
+// cache. Memo and cache both store nil for "no record at this epoch" and
+// a non-nil (possibly empty) slice for a known page, mirroring
+// decodeIDSet's contract.
+func (v *DerivedView) adj(memo map[int64][]int64, kind cacheKind, key string, page int64) []int64 {
 	if ids, ok := memo[page]; ok {
 		return ids
+	}
+	ck := cacheKey{epoch: v.sn.Epoch(), page: page, kind: kind}
+	if v.cache != nil {
+		if val, ok := v.cache.get(ck); ok {
+			ids := val.([]int64)
+			memo[page] = ids
+			return ids
+		}
 	}
 	var ids []int64
 	if raw, ok := v.sn.Get(key); ok {
@@ -187,6 +231,9 @@ func (v *DerivedView) adj(memo map[int64][]int64, key string, page int64) []int6
 		}
 	}
 	memo[page] = ids
+	if v.cache != nil {
+		v.cache.put(ck, ids, sizeofIDs(ids))
+	}
 	return ids
 }
 
@@ -194,7 +241,7 @@ func (v *DerivedView) adj(memo map[int64][]int64, key string, page int64) []int6
 // when the page has no lnk/ record; callers must not mutate the slice).
 // Out implements part of graph.AdjacencySource.
 func (v *DerivedView) Out(page int64) []int64 {
-	return v.adj(v.out, lnkKey(page), page)
+	return v.adj(v.out, kindOut, lnkKey(page), page)
 }
 
 // OutKnown is Out plus whether the page has an adjacency record at all —
@@ -206,26 +253,51 @@ func (v *DerivedView) OutKnown(page int64) ([]int64, bool) {
 
 // In returns the page's in-link adjacency as of the view's epoch: the
 // base rin/ record merged with every rinD/ delta chunk, canonicalised
-// (sorted, deduped) and memoized. Chunk seqs are dense from 0 within a
-// generation and the watermark only advances contiguously, so probing
-// seq 0,1,2,… until the first miss sees exactly the chunks published at
-// or below the pinned epoch — including across a consolidation, whose
-// batch replaces the chunks with tombstones and the base atomically. A
-// page with neither base nor decodable chunks stays nil (unknown),
+// (sorted, deduped) and memoized. Chunk seqs are monotone per page and
+// dense within a generation, the base record carries the generation's
+// first live seq (its trailing start-seq — zero for legacy and
+// first-edge records), and the watermark only advances contiguously, so
+// probing from that start until the first miss sees exactly the chunks
+// published at or below the pinned epoch — including across a
+// consolidation, whose batch replaces the chunks with tombstones and
+// the new base atomically.
+//
+// The probe window's upper bound comes from the producer's live chunk
+// counter (v.hints): seqs are never reused, so the counter is always at
+// or past one-past the view's last visible chunk. A fully consolidated
+// page therefore probes nothing at all — start == bound — where the old
+// scheme paid a guaranteed final probe miss that fell through the
+// chains to a cold-tier scan on every single In() call. Without hints
+// (bare test views), the probe walks to the first miss as before.
+//
+// A page with neither base nor decodable chunks stays nil (unknown),
 // preserving the nil-vs-empty contract of graph.AdjacencySource. In
 // implements part of graph.AdjacencySource.
 func (v *DerivedView) In(page int64) []int64 {
 	if ids, ok := v.in[page]; ok {
 		return ids
 	}
-	var ids []int64
-	known := false
-	if raw, ok := v.sn.Get(rinKey(page)); ok {
-		if dec, ok := decodeIDSet(raw); ok {
-			ids, known = dec, true
+	ck := cacheKey{epoch: v.sn.Epoch(), page: page, kind: kindIn}
+	if v.cache != nil {
+		if val, ok := v.cache.get(ck); ok {
+			ids := val.([]int64)
+			v.in[page] = ids
+			return ids
 		}
 	}
-	for seq := 0; ; seq++ {
+	var ids []int64
+	known := false
+	start := 0
+	if raw, ok := v.sn.Get(rinKey(page)); ok {
+		if dec, s, ok := decodeIDSetStart(raw); ok {
+			ids, known, start = dec, true, s
+		}
+	}
+	bound := -1 // no hint: probe to the first miss
+	if v.hints != nil {
+		bound = v.hints.chunkNext(page)
+	}
+	for seq := start; bound < 0 || seq < bound; seq++ {
 		raw, ok := v.sn.Get(rinChunkKey(page, seq))
 		if !ok {
 			break
@@ -241,6 +313,9 @@ func (v *DerivedView) In(page int64) []int64 {
 		ids = canonIDs(ids)
 	}
 	v.in[page] = ids
+	if v.cache != nil {
+		v.cache.put(ck, ids, sizeofIDs(ids))
+	}
 	return ids
 }
 
@@ -277,11 +352,22 @@ func (v *DerivedView) Vector(page int64) (text.Vector, bool) {
 	if vec, ok := v.vec[page]; ok {
 		return vec, len(vec.IDs) > 0
 	}
+	ck := cacheKey{epoch: v.sn.Epoch(), page: page, kind: kindVec}
+	if v.cache != nil {
+		if val, ok := v.cache.get(ck); ok {
+			vec := val.(text.Vector)
+			v.vec[page] = vec
+			return vec, len(vec.IDs) > 0
+		}
+	}
 	var vec text.Vector
 	if tf := v.TermCounts(page); tf != nil {
 		vec = text.VectorFromCounts(v.dict, tf)
 	}
 	v.vec[page] = vec
+	if v.cache != nil {
+		v.cache.put(ck, vec, sizeofVec(vec))
+	}
 	return vec, len(vec.IDs) > 0
 }
 

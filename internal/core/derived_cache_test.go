@@ -1,0 +1,413 @@
+package core
+
+import (
+	"maps"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"memex/internal/events"
+	"memex/internal/kvstore"
+	"memex/internal/text"
+	"memex/internal/webcorpus"
+)
+
+// uncachedTwin wraps the same pinned snapshot in a view with no shared
+// cache and no chunk-window hint: the ground-truth read path (probe to
+// the first miss, decode every blob). Only the original view may
+// Release.
+func uncachedTwin(v *DerivedView) *DerivedView {
+	return &DerivedView{
+		sn:   v.sn,
+		dict: v.dict,
+		tf:   map[int64]map[string]int{},
+		vec:  map[int64]text.Vector{},
+		out:  map[int64][]int64{},
+		in:   map[int64][]int64{},
+	}
+}
+
+// fetchedPages snapshots the engine's claim set (the pages with derived
+// records to read).
+func fetchedPages(e *Engine) []int64 {
+	e.mu.RLock()
+	pages := make([]int64, 0, len(e.fetched))
+	for p := range e.fetched {
+		pages = append(pages, p)
+	}
+	e.mu.RUnlock()
+	slices.Sort(pages)
+	return pages
+}
+
+func seedEngine(t testing.TB, e *Engine, c *webcorpus.Corpus, visits int) {
+	t.Helper()
+	e.RegisterUser(1, "alice")
+	n := 0
+	for _, leaf := range c.Leaves() {
+		for _, pid := range c.LeafPages[leaf.ID] {
+			if n >= visits {
+				break
+			}
+			p := c.Page(pid)
+			if err := e.RecordVisit(1, p.URL, "", tBase.Add(time.Duration(n)*time.Minute), events.Community); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	e.DrainBackground()
+}
+
+// TestCachedReadsMatchUncached pins one snapshot and reads every derived
+// record through three paths — the shared cache cold (first view), the
+// ground-truth uncached/unhinted twin, and the cache warm (second view
+// at the same epoch) — and requires identical results from all three.
+func TestCachedReadsMatchUncached(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 11, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 12})
+	e, err := Open(Config{
+		Dir:               t.TempDir(),
+		Source:            corpusSource{c},
+		KV:                kvstore.Options{Sync: kvstore.SyncNever},
+		VersionGCInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	seedEngine(t, e, c, 20)
+
+	v := e.DerivedSnapshot()
+	defer v.Release()
+	if v.cache == nil || v.hints == nil {
+		t.Fatal("engine view lacks the shared cache or the chunk hint")
+	}
+	truth := uncachedTwin(v)
+	warm := &DerivedView{
+		sn: v.sn, dict: v.dict, cache: v.cache, hints: v.hints,
+		tf:  map[int64]map[string]int{},
+		vec: map[int64]text.Vector{},
+		out: map[int64][]int64{},
+		in:  map[int64][]int64{},
+	}
+	pages := fetchedPages(e)
+	if len(pages) == 0 {
+		t.Fatal("no fetched pages")
+	}
+	for _, view := range []*DerivedView{v, warm} {
+		for _, p := range pages {
+			if got, want := view.TermCounts(p), truth.TermCounts(p); !maps.Equal(got, want) {
+				t.Fatalf("page %d: cached TermCounts diverged", p)
+			}
+			if got, want := view.Out(p), truth.Out(p); !slices.Equal(got, want) {
+				t.Fatalf("page %d: cached Out = %v, want %v", p, got, want)
+			}
+			if got, want := view.In(p), truth.In(p); !slices.Equal(got, want) {
+				t.Fatalf("page %d: cached In = %v, want %v", p, got, want)
+			}
+			gv, gok := view.Vector(p)
+			wv, wok := truth.Vector(p)
+			if gok != wok || !slices.Equal(gv.IDs, wv.IDs) {
+				t.Fatalf("page %d: cached Vector diverged", p)
+			}
+		}
+	}
+	st := e.cache.stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("cache accounting dead: %+v", st)
+	}
+}
+
+// TestSecondPassDecodeCollapse is the tentpole's headline property as a
+// counter assertion: a second full read pass over an unchanged epoch
+// must do at least 5× less decode work (cache misses are decodes; the
+// second pass should be nearly all hits).
+func TestSecondPassDecodeCollapse(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 12, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 12})
+	e, err := Open(Config{
+		Dir:               t.TempDir(),
+		Source:            corpusSource{c},
+		KV:                kvstore.Options{Sync: kvstore.SyncNever},
+		VersionGCInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	seedEngine(t, e, c, 24)
+
+	pages := fetchedPages(e)
+	pass := func() {
+		v := e.DerivedSnapshot()
+		defer v.Release()
+		for _, p := range pages {
+			v.TermCounts(p)
+			v.Out(p)
+			v.In(p)
+			v.Vector(p)
+		}
+	}
+	m0 := e.cache.stats().Misses
+	pass()
+	m1 := e.cache.stats().Misses
+	pass()
+	m2 := e.cache.stats().Misses
+	cold, warmMisses := m1-m0, m2-m1
+	if cold == 0 {
+		t.Fatal("first pass decoded nothing")
+	}
+	if warmMisses*5 > cold {
+		t.Fatalf("second pass did %d decodes vs %d cold — less than the 5× collapse", warmMisses, cold)
+	}
+}
+
+// TestConsolidatedInZeroColdFallthrough pins the chunk-window hint's
+// payoff: after consolidation and a full fold to the cold tier, In() on
+// a consolidated page does zero cold-tier fallthrough probes (the old
+// probe-to-miss scheme paid one guaranteed cold miss per call — the
+// unhinted twin still does, which the second half asserts).
+func TestConsolidatedInZeroColdFallthrough(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 13, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 12})
+	e, err := Open(Config{
+		Dir:               t.TempDir(),
+		Source:            corpusSource{c},
+		KV:                kvstore.Options{Sync: kvstore.SyncNever},
+		VersionGCInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	seedEngine(t, e, c, 20)
+
+	// Find the pages that actually have in-link bases.
+	pre := e.DerivedSnapshot()
+	var linked []int64
+	for _, p := range fetchedPages(e) {
+		if pre.In(p) != nil {
+			linked = append(linked, p)
+		}
+	}
+	pre.Release()
+	if len(linked) == 0 {
+		t.Fatal("no pages with in-links")
+	}
+
+	e.links.consolidate(1)
+	if got := e.links.pendingChunks(); got != 0 {
+		t.Fatalf("%d live chunks after full consolidation", got)
+	}
+	// Fold everything to the cold tier so every probe that misses the
+	// in-memory chains would fall through to disk.
+	for i := 0; i < 3; i++ {
+		e.vs.GC()
+	}
+
+	coldStats := func() (reads, misses uint64) {
+		cs := e.vs.StoreStats().Cold
+		if cs == nil {
+			t.Fatal("engine store has no cold tier")
+		}
+		return cs.Reads, cs.ReadMisses
+	}
+	v := e.DerivedSnapshot()
+	defer v.Release()
+	_, miss0 := coldStats()
+	for _, p := range linked {
+		if v.In(p) == nil {
+			t.Fatalf("page %d lost its in-links after consolidation", p)
+		}
+	}
+	_, miss1 := coldStats()
+	if miss1 != miss0 {
+		t.Fatalf("hinted In() paid %d cold-tier fallthrough misses, want 0", miss1-miss0)
+	}
+
+	// The ground-truth twin (no hint) probes one seq past the window per
+	// page and pays the cold miss every time.
+	truth := uncachedTwin(v)
+	for _, p := range linked {
+		truth.In(p)
+	}
+	_, miss2 := coldStats()
+	if int(miss2-miss1) < len(linked) {
+		t.Fatalf("unhinted twin paid %d cold misses over %d pages — the hint isn't measuring anything", miss2-miss1, len(linked))
+	}
+}
+
+// TestCacheEvictionRespectsPinFloor drives the evict-only invalidation
+// contract: entries at a pinned epoch survive a floor sweep (the pin
+// floor cannot pass a live pin), keep serving the pinned view, and are
+// reclaimed only once the pin is gone and the floor moves past them.
+func TestCacheEvictionRespectsPinFloor(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 14, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 12})
+	e, err := Open(Config{
+		Dir:               t.TempDir(),
+		Source:            corpusSource{c},
+		KV:                kvstore.Options{Sync: kvstore.SyncNever},
+		VersionGCInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	seedEngine(t, e, c, 12)
+
+	v := e.DerivedSnapshot()
+	pages := fetchedPages(e)
+	want := map[int64][]int64{}
+	for _, p := range pages {
+		want[p] = slices.Clone(v.In(p))
+	}
+	epoch := v.Epoch()
+
+	// Publish past the pinned epoch, then sweep at the pin floor: the
+	// pinned epoch's entries must survive (floor ≤ pinned epoch).
+	seedEngine(t, e, c, 24)
+	e.cache.evictBelow(e.vs.PinFloor())
+	h0 := e.cache.stats().Hits
+	warm := &DerivedView{
+		sn: v.sn, dict: v.dict, cache: v.cache, hints: v.hints,
+		tf:  map[int64]map[string]int{},
+		vec: map[int64]text.Vector{},
+		out: map[int64][]int64{},
+		in:  map[int64][]int64{},
+	}
+	for _, p := range pages {
+		if got := warm.In(p); !slices.Equal(got, want[p]) {
+			t.Fatalf("page %d: post-sweep cached In = %v, want %v", p, got, want[p])
+		}
+	}
+	if h1 := e.cache.stats().Hits; h1 == h0 {
+		t.Fatal("pinned epoch's entries were swept below the pin floor")
+	}
+
+	// Release the pin; the floor moves past the epoch and the sweep may
+	// now reclaim it.
+	v.Release()
+	if floor := e.vs.PinFloor(); floor <= epoch {
+		t.Fatalf("pin floor %d did not pass released epoch %d", floor, epoch)
+	}
+	ef0 := e.cache.stats().EvictedFloor
+	e.cache.evictBelow(e.vs.PinFloor())
+	if ef1 := e.cache.stats().EvictedFloor; ef1 == ef0 {
+		t.Fatal("sweep reclaimed nothing after the pin released")
+	}
+	if _, ok := e.cache.get(cacheKey{epoch: epoch, page: pages[0], kind: kindIn}); ok {
+		t.Fatal("released epoch's entry survived the floor sweep")
+	}
+}
+
+// TestDerivedCacheConcurrentMiningAndIngest is the -race exercise: theme
+// rebuilds, recommendation and raw cached read passes run against live
+// ingest, the GC/fold/consolidation demon and explicit pin-floor cache
+// sweeps, with every cached read checked against the uncached
+// ground-truth twin on the same pinned snapshot.
+func TestDerivedCacheConcurrentMiningAndIngest(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 15, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 16})
+	e, err := Open(Config{
+		Dir:               t.TempDir(),
+		Source:            corpusSource{c},
+		KV:                kvstore.Options{Sync: kvstore.SyncNever},
+		VersionGCInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	seedEngine(t, e, c, 16)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Ingest: keep publishing new epochs under the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 16
+		for _, leaf := range c.Leaves() {
+			for _, pid := range c.LeafPages[leaf.ID] {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := c.Page(pid)
+				if err := e.RecordVisit(1, p.URL, "", tBase.Add(time.Duration(n)*time.Minute), events.Community); err != nil {
+					t.Errorf("RecordVisit: %v", err)
+					return
+				}
+				n++
+			}
+		}
+	}()
+
+	// Sweeper: race the pin-floor eviction against the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.cache.evictBelow(e.vs.PinFloor())
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Readers: cached view vs ground-truth twin on one pinned snapshot,
+	// plus within-view repeatability.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := e.DerivedSnapshot()
+				truth := uncachedTwin(v)
+				pages := fetchedPages(e)
+				if len(pages) > 24 {
+					pages = pages[:24]
+				}
+				for _, p := range pages {
+					if got, want := v.In(p), truth.In(p); !slices.Equal(got, want) {
+						t.Errorf("page %d: cached In %v != uncached %v at epoch %d", p, got, want, v.Epoch())
+					}
+					if got, want := v.TermCounts(p), truth.TermCounts(p); !maps.Equal(got, want) {
+						t.Errorf("page %d: cached TermCounts diverged at epoch %d", p, v.Epoch())
+					}
+					if first, again := v.Out(p), v.Out(p); !slices.Equal(first, again) {
+						t.Errorf("page %d: Out not repeatable within one view", p)
+					}
+				}
+				v.Release()
+			}
+		}()
+	}
+
+	// Miners: the real read passes the cache exists for.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.RebuildThemes()
+				e.Recommend(1, 5, true)
+			}
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

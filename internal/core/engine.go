@@ -99,9 +99,21 @@ type Config struct {
 	// VersionGCInterval compacts superseded version-store layers off the
 	// hot path (default 2s; negative disables the demon).
 	VersionGCInterval time.Duration
+	// DecodedCacheBytes bounds the shared decoded-record cache that sits
+	// between DerivedView and the version store (cache.go): 0 takes the
+	// default (32 MiB), negative disables caching. Sizing guidance: the
+	// cache holds decoded tf maps, adjacency slices and term vectors, so
+	// a working set of N hot pages costs very roughly N × (page term
+	// count × 40 B); at the default a second mining pass over ~100k
+	// modest pages stays fully warm.
+	DecodedCacheBytes int64
 	// Now injects a clock for tests (default time.Now).
 	Now func() time.Time
 }
+
+// defaultDecodedCacheBytes is the decoded-record cache budget when the
+// config leaves it zero.
+const defaultDecodedCacheBytes = 32 << 20
 
 // Engine is an embedded Memex server core.
 type Engine struct {
@@ -118,6 +130,11 @@ type Engine struct {
 	// it directly — they pin a DerivedView, whose Out/In/Has decode the
 	// records at one epoch.
 	links *linkIndex
+	// cache is the shared decoded-record cache (cache.go): every
+	// DerivedView of this engine consults it before decoding a tf/, lnk/
+	// or rin* record, so repeated passes over an unchanged epoch pay
+	// decode cost once. nil when DecodedCacheBytes < 0.
+	cache *recordCache
 	queue *events.Queue
 	pool  *demon.Pool
 
@@ -189,6 +206,9 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.VersionGCInterval == 0 {
 		cfg.VersionGCInterval = 2 * time.Second
 	}
+	if cfg.DecodedCacheBytes == 0 {
+		cfg.DecodedCacheBytes = defaultDecodedCacheBytes
+	}
 	kv, err := kvstore.Open(cfg.Dir, cfg.KV)
 	if err != nil {
 		return nil, err
@@ -215,6 +235,7 @@ func Open(cfg Config) (*Engine, error) {
 		dict:      text.NewDict(),
 		corp:      text.NewCorpus(),
 		links:     newLinkIndex(vs),
+		cache:     newRecordCache(cfg.DecodedCacheBytes),
 		queue:     events.NewQueue(cfg.QueueSize),
 		pool:      demon.NewPool(),
 		trees:     map[int64]*folders.Tree{},
@@ -382,6 +403,13 @@ func (e *Engine) startDemons() {
 			Tick: func() {
 				e.links.consolidate(rinConsolidateThreshold)
 				e.vs.GC()
+				// Published epochs are immutable, so the decoded-record
+				// cache never needs write invalidation — but once the pin
+				// floor moves past an epoch no live or future view can ask
+				// for it again, so its entries are reclaimed here.
+				if e.cache != nil {
+					e.cache.evictBelow(e.vs.PinFloor())
+				}
 			},
 		})
 	}
@@ -425,6 +453,11 @@ type Stats struct {
 	// Version reports the derived-data version store: watermark, layer
 	// count, pinned snapshots, and cumulative GC work.
 	Version version.Stats
+	// Cache reports the shared decoded-record cache: hit/miss counters
+	// (cross-view reuse), eviction counts split by cause, and the
+	// approximate decoded footprint against its bound. All zero when the
+	// cache is disabled.
+	Cache CacheStats
 }
 
 // Status reports engine state.
@@ -438,7 +471,12 @@ func (e *Engine) Status() Stats {
 	pages := len(e.urlOf)
 	e.mu.RUnlock()
 	nodes, edges := e.links.Counts()
+	var cs CacheStats
+	if e.cache != nil {
+		cs = e.cache.stats()
+	}
 	return Stats{
+		Cache:         cs,
 		GraphNodes:    nodes,
 		GraphEdges:    edges,
 		Users:         users,

@@ -36,23 +36,35 @@ import (
 //
 // # Chunk-chain invariants
 //
-//   - Within one "generation" the live chunk seqs for a page are dense
-//     from 0: seqs are allocated under linkMu, and a snapshot's watermark
-//     only advances over contiguously completed epochs, so any pinned view
-//     sees a dense prefix. Readers therefore probe seq 0,1,2,… until the
-//     first miss — no chunk-count metadata record is needed.
+//   - Chunk seqs are monotone per page — never reused — and dense within
+//     one "generation": seqs are allocated under linkMu in epoch order,
+//     and a snapshot's watermark only advances over contiguously
+//     completed epochs, so any pinned view sees a dense run starting at
+//     its base record's start-seq. Readers probe from that start until
+//     the first miss, capped by the producer's live counter (the
+//     chunk-window hint DerivedView.In uses): the counter never resets,
+//     so it is always a valid upper bound for every pinned view, and a
+//     fully consolidated page probes zero chunks — no guaranteed final
+//     probe miss, no cold-tier fallthrough scan.
 //   - Consolidation (linkIndex.consolidate, driven by the engine's
 //     version-gc demon and by Close) folds a page's chunks back into one
-//     base record: a single batch puts the merged rin/ record, tombstones
-//     every chunk of the generation, and resets the seq counter, starting
-//     the next generation at seq 0. The batch is atomic in the store, so
-//     no view can see the base without the tombstones; GC then folds the
-//     tombstones through to the cold tier, where they reclaim the disk
-//     chunks — chains stay short and reopen stays cheap.
+//     base record: a single batch puts the merged rin/ record — with the
+//     next generation's start-seq (== the current counter) appended as a
+//     trailing uvarint — and tombstones the closed generation's chunks.
+//     The batch is atomic in the store, so no view can see the base
+//     without the tombstones; GC then folds the tombstones through to
+//     the cold tier, where they reclaim the disk chunks — chains stay
+//     short and reopen stays cheap. Per-page thresholds are adaptive
+//     (adaptiveRinThreshold): the monotone counter doubles as a lifetime
+//     churn metric, so hub pages — the ones whose chains grow fastest —
+//     consolidate earlier than cold pages.
 //   - Backward compatibility: an archive written before chunking existed
 //     holds only full rin/ records, which are exactly a base with zero
-//     chunks — DerivedView.In merges base + chunks, so pre-chunk, mixed,
-//     and fully chunked archives all decode through the same path.
+//     chunks and a zero start-seq (the trailing uvarint is omitted when
+//     zero, so first-edge bases still encode byte-identically to legacy
+//     records) — DerivedView.In merges base + chunks, so pre-chunk,
+//     mixed, and fully chunked archives all decode through the same
+//     path.
 //
 // Every edge write — a fetch's discovered out-links, a visit's
 // referrer→page transition — goes through linkIndex.publish, which stages
@@ -95,6 +107,16 @@ func pageOfLnkKey(key string) (int64, bool) {
 	return id, err == nil
 }
 
+// pageOfRinKey is the inverse of rinKey (ok=false for foreign keys,
+// including rinD/ chunk keys, whose prefix does not match).
+func pageOfRinKey(key string) (int64, bool) {
+	if !strings.HasPrefix(key, "rin/") {
+		return 0, false
+	}
+	id, err := strconv.ParseInt(key[4:], 10, 64)
+	return id, err == nil
+}
+
 // pageOfRinChunkKey is the inverse of rinChunkKey (ok=false for foreign
 // keys, including plain rin/ base records).
 func pageOfRinChunkKey(key string) (page int64, seq int, ok bool) {
@@ -117,13 +139,45 @@ func pageOfRinChunkKey(key string) (page int64, seq int, ok bool) {
 	return page, seq, true
 }
 
-// rinConsolidateThreshold is the chunk-chain length at which the periodic
-// consolidation pass (and Close) folds a page's chunks into its base
-// record. It bounds both the read-side merge (In probes at most this many
-// chunks plus the base between GC ticks, modulo publishes since the last
-// tick) and the amortized write cost: one O(in-degree) base rewrite per
-// threshold new edges.
+// rinConsolidateThreshold is the base chunk-chain length at which the
+// periodic consolidation pass (and Close) folds a page's chunks into its
+// base record. It bounds both the read-side merge (In probes at most
+// this many chunks plus the base between GC ticks, modulo publishes
+// since the last tick) and the amortized write cost: one O(in-degree)
+// base rewrite per threshold new edges. Per page the effective value is
+// adaptiveRinThreshold of this.
 const rinConsolidateThreshold = 8
+
+// adaptiveRinThreshold is the per-page effective consolidation
+// threshold. lifetime is the page's monotone chunk-allocation counter —
+// chunks are never renumbered, so it measures cumulative in-link churn
+// directly. Hub pages that have already burned through several
+// generations consolidate at shorter chains (half the base past 8×, a
+// quarter past 32×), shrinking exactly the chunk chains the read-side
+// merge, the skip index and the record cache would otherwise have to
+// cover; cold pages keep the full base threshold so one-off in-links
+// don't trigger O(in-degree) rewrites. The floor of 2 keeps a hub from
+// degenerating into a rewrite per edge — except when the caller's base
+// is itself lower (Close and tests consolidate at 1).
+func adaptiveRinThreshold(base, lifetime int) int {
+	if base < 1 {
+		base = 1
+	}
+	t := base
+	switch {
+	case lifetime >= 32*base:
+		t = base / 4
+	case lifetime >= 8*base:
+		t = base / 2
+	}
+	if t < 2 {
+		t = 2
+	}
+	if t > base {
+		t = base
+	}
+	return t
+}
 
 // linkIndex is the engine's link-graph producer: the in-memory authority
 // adjacency (a graph.Graph rebuilt from recovered records at Open) plus
@@ -136,10 +190,15 @@ type linkIndex struct {
 	vs *version.Store
 	mu sync.Mutex
 	g  *graph.Graph
-	// chunks counts each page's live delta chunks (== the next seq to
-	// allocate: live seqs are dense from 0 within a generation). Guarded
-	// by mu; consolidation resets entries to start the next generation.
+	// chunks is each page's next chunk seq to allocate — monotone for the
+	// page's whole lifetime (seqs are never reused), which is what makes
+	// it a valid probe-window upper bound for every pinned view
+	// (chunkNext). start is where the page's current generation begins:
+	// live seqs are exactly [start, chunks) — dense, because both advance
+	// in epoch order under mu. Consolidation moves start up to chunks and
+	// persists it in the new base record. Both guarded by mu.
 	chunks map[int64]int
+	start  map[int64]int
 	// rinBytes accumulates the payload bytes of every published in-link
 	// record (base, chunk, or consolidation rewrite) — the write-
 	// amplification metric BenchmarkInLinkWriteAmplification reports.
@@ -147,14 +206,18 @@ type linkIndex struct {
 }
 
 func newLinkIndex(vs *version.Store) *linkIndex {
-	return &linkIndex{vs: vs, g: graph.New(), chunks: map[int64]int{}}
+	return &linkIndex{vs: vs, g: graph.New(), chunks: map[int64]int{}, start: map[int64]int{}}
 }
 
 // rinPut is one staged in-link record: the base record of a target's
 // first in-link, or a delta chunk for a target that already has some.
+// start is the generation start-seq a base record persists (always 0 for
+// delta chunks and for a genuinely fresh page, where it encodes to the
+// legacy byte shape).
 type rinPut struct {
-	key string
-	ids []int64
+	key   string
+	ids   []int64
+	start int
 }
 
 // publish records the edges from→targets: any edge not yet in the
@@ -193,7 +256,7 @@ func (li *linkIndex) publish(from int64, targets []int64, tfBlob []byte) {
 	}
 	b.Put(lnkKey(from), encodeIDSet(outs))
 	for _, r := range rins {
-		blob := encodeIDSet(r.ids)
+		blob := encodeIDSetStart(r.ids, r.start)
 		li.rinBytes.Add(int64(len(blob)))
 		b.Put(r.key, blob)
 	}
@@ -238,7 +301,10 @@ func (li *linkIndex) stage(from int64, targets []int64, force bool) (b *version.
 			// the invariant that any page with chunks also has a base —
 			// and a page whose in-degree stays 1 (the common case in a
 			// long-tailed link graph) never grows a chunk chain at all.
-			rins[i] = rinPut{key: rinKey(t), ids: []int64{from}}
+			// The persisted start is normally 0 here; carrying the live
+			// value keeps the record honest even if a recovered archive
+			// ever presents chunks for a page whose lnk/ side was lost.
+			rins[i] = rinPut{key: rinKey(t), ids: []int64{from}, start: li.start[t]}
 			continue
 		}
 		seq := li.chunks[t]
@@ -250,15 +316,18 @@ func (li *linkIndex) stage(from int64, targets []int64, force bool) (b *version.
 	return b, outs, rins
 }
 
-// consolidate folds every page whose chunk chain has reached threshold
-// back into a single base record: one batch per page puts the merged
-// rin/ record (the authority's full in-adjacency — which also re-unions
-// any edge a panicked publish failed to persist) and tombstones the
-// generation's chunks, and the page's next chunk generation starts at
-// seq 0. The engine's version-gc demon runs it ahead of each GC so the
-// subsequent fold writes one consolidated record to the cold tier and
-// the tombstones reclaim the disk chunks; Close runs it so reopen starts
-// from short chains. Returns the number of pages consolidated.
+// consolidate folds every page whose live chunk window has reached its
+// adaptive threshold (threshold is the base; hub pages fold earlier —
+// see adaptiveRinThreshold) back into a single base record: one batch
+// per page puts the merged rin/ record (the authority's full
+// in-adjacency — which also re-unions any edge a panicked publish failed
+// to persist — tagged with the next generation's start-seq) and
+// tombstones the closed generation's chunks; the next generation
+// continues the monotone seq counter. The engine's version-gc demon runs
+// it ahead of each GC so the subsequent fold writes one consolidated
+// record to the cold tier and the tombstones reclaim the disk chunks;
+// Close runs it so reopen starts from short chains. Returns the number
+// of pages consolidated.
 //
 // Like publish, only the cheap half runs under the lock, and each page
 // is its own batch so the lock is held for one O(in-degree) adjacency
@@ -280,7 +349,7 @@ func (li *linkIndex) consolidate(threshold int) int {
 	li.mu.Lock()
 	var targets []int64
 	for t, n := range li.chunks {
-		if n >= threshold {
+		if n-li.start[t] >= adaptiveRinThreshold(threshold, n) {
 			targets = append(targets, t)
 		}
 	}
@@ -298,25 +367,29 @@ func (li *linkIndex) consolidate(threshold int) int {
 	return done
 }
 
-// consolidateOne folds one page's chunk generation into its base record
-// (see consolidate). Publishing can in principle panic (batch misuse,
-// allocation failure mid-encode); the deferred recovery restores the
-// page's chunk counter so the generation resumes where it left off — a
-// restarted generation's next chunk would shadow the old seq-0 chunk's
-// edge out of every later view — and, because the restored count still
-// clears the threshold, the next GC tick retries the fold immediately.
+// consolidateOne folds one page's live chunk window into its base record
+// (see consolidate). The new base carries start-seq == the page's
+// current counter, and the window's chunks [start, count) are
+// tombstoned; the counter itself never moves backwards, so pinned views
+// keep valid probe bounds. Publishing can in principle panic (batch
+// misuse, allocation failure mid-encode); the deferred recovery rolls
+// the generation start back — the un-tombstoned chunks are still live
+// and must stay inside the probe window — and, because the restored
+// window still clears the threshold, the next GC tick retries the fold
+// immediately.
 func (li *linkIndex) consolidateOne(t int64, threshold int) bool {
 	li.mu.Lock()
 	count := li.chunks[t]
-	if count < threshold {
+	s0 := li.start[t]
+	if count-s0 < adaptiveRinThreshold(threshold, count) {
 		// Lost a race with another consolidation pass (e.g. Close vs the
 		// GC demon's final tick): nothing left to fold here.
 		li.mu.Unlock()
 		return false
 	}
 	merged := li.g.In(t)
-	delete(li.chunks, t)
-	b := li.vs.BeginSized(1 + count)
+	li.start[t] = count
+	b := li.vs.BeginSized(1 + count - s0)
 	li.mu.Unlock()
 
 	committed := false
@@ -326,15 +399,15 @@ func (li *linkIndex) consolidateOne(t int64, threshold int) bool {
 		}
 		b.Abort() // completes the epoch so the watermark cannot stall
 		li.mu.Lock()
-		if count > li.chunks[t] {
-			li.chunks[t] = count
+		if li.start[t] == count {
+			li.start[t] = s0
 		}
 		li.mu.Unlock()
 	}()
-	blob := encodeIDSet(merged)
+	blob := encodeIDSetStart(merged, count)
 	li.rinBytes.Add(int64(len(blob)))
 	b.Put(rinKey(t), blob)
-	for seq := 0; seq < count; seq++ {
+	for seq := s0; seq < count; seq++ {
 		b.Delete(rinChunkKey(t, seq))
 	}
 	b.Publish()
@@ -348,11 +421,14 @@ func (li *linkIndex) applyRecovered(from int64, outs []int64) {
 	li.g.ApplyOut(from, outs)
 }
 
-// resumeChunks installs the recovered per-page chunk counts (Open's
+// resumeChunks installs the recovered per-page chunk state (Open's
 // reload path): nextSeq maps page → one past its highest live chunk seq,
-// so the next delta appends after the recovered generation instead of
-// overwriting it.
-func (li *linkIndex) resumeChunks(nextSeq map[int64]int) {
+// and starts maps page → the start-seq its recovered base record
+// carries. The counter resumes past both — seqs are monotone across
+// lives, so the next delta appends after the recovered generation
+// instead of overwriting it — and the generation start resumes so the
+// next consolidation tombstones exactly the live window.
+func (li *linkIndex) resumeChunks(nextSeq, starts map[int64]int) {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	for page, n := range nextSeq {
@@ -360,16 +436,37 @@ func (li *linkIndex) resumeChunks(nextSeq map[int64]int) {
 			li.chunks[page] = n
 		}
 	}
+	for page, s := range starts {
+		if s > li.start[page] {
+			li.start[page] = s
+		}
+		if s > li.chunks[page] {
+			li.chunks[page] = s
+		}
+	}
+}
+
+// chunkNext returns one past the highest chunk seq ever allocated for
+// the page. The counter is monotone for the page's lifetime, so the
+// value is a valid upper probe bound for any pinned view, no matter when
+// it was pinned — the chunk-window hint DerivedView.In uses to stop its
+// merge at the last live chunk instead of paying a guaranteed probe
+// miss.
+func (li *linkIndex) chunkNext(page int64) int {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.chunks[page]
 }
 
 // pendingChunks reports the number of live delta chunks across all pages
-// (observability and tests).
+// (observability and tests): the sum of the per-page [start, next)
+// windows.
 func (li *linkIndex) pendingChunks() int {
 	li.mu.Lock()
 	defer li.mu.Unlock()
 	n := 0
-	for _, c := range li.chunks {
-		n += c
+	for page, c := range li.chunks {
+		n += c - li.start[page]
 	}
 	return n
 }
@@ -407,29 +504,70 @@ func encodeIDSet(ids []int64) []byte {
 
 // decodeIDSet is the inverse of encodeIDSet (nil, false on corrupt input;
 // an empty set decodes to a non-nil empty slice so callers can tell
-// "known, no links" from "unknown").
+// "known, no links" from "unknown"). Trailing bytes after the set are
+// ignored — which is what lets base rin/ records carry a start-seq
+// suffix newer code reads and older code never noticed.
 func decodeIDSet(b []byte) ([]int64, bool) {
+	ids, _, ok := decodeIDSetRest(b)
+	return ids, ok
+}
+
+// decodeIDSetRest decodes the id set and returns whatever bytes follow
+// it.
+func decodeIDSetRest(b []byte) ([]int64, []byte, bool) {
 	n, w := binary.Uvarint(b)
 	if w <= 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	b = b[w:]
 	// Every id costs at least one byte, so a count exceeding the payload
 	// is corruption — reject it before sizing the slice (a huge bogus
 	// count would otherwise panic in make instead of failing gracefully).
 	if n > uint64(len(b)) {
-		return nil, false
+		return nil, nil, false
 	}
 	ids := make([]int64, 0, n)
 	prev := int64(0)
 	for i := uint64(0); i < n; i++ {
 		d, w := binary.Uvarint(b)
 		if w <= 0 {
-			return nil, false
+			return nil, nil, false
 		}
 		b = b[w:]
 		prev += int64(d)
 		ids = append(ids, prev)
 	}
-	return ids, true
+	return ids, b, true
+}
+
+// encodeIDSetStart is encodeIDSet plus the generation start-seq appended
+// as a trailing uvarint. A zero start is omitted, so fresh-page base
+// records (and every delta chunk, which always passes 0) stay
+// byte-identical to the legacy encoding — old archives and new readers
+// meet in the middle.
+func encodeIDSetStart(ids []int64, startSeq int) []byte {
+	buf := encodeIDSet(ids)
+	if startSeq > 0 {
+		buf = binary.AppendUvarint(buf, uint64(startSeq))
+	}
+	return buf
+}
+
+// decodeIDSetStart decodes a base rin/ record: the id set plus its
+// generation start-seq (0 when the suffix is absent — legacy records and
+// fresh-page bases). A malformed suffix fails the whole record, like any
+// other corruption.
+func decodeIDSetStart(b []byte) ([]int64, int, bool) {
+	ids, rest, ok := decodeIDSetRest(b)
+	if !ok {
+		return nil, 0, false
+	}
+	if len(rest) == 0 {
+		return ids, 0, true
+	}
+	s, w := binary.Uvarint(rest)
+	if w <= 0 || w != len(rest) || s > 1<<31 {
+		return nil, 0, false
+	}
+	return ids, int(s), true
 }

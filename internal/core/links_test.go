@@ -273,6 +273,8 @@ func TestRinChunkScheme(t *testing.T) {
 		t.Fatal("no base record after consolidation")
 	} else if ids, _ := decodeIDSet(raw); !slices.Equal(ids, want) {
 		t.Fatalf("consolidated base = %v, want %v", ids, want)
+	} else if _, start, ok := decodeIDSetStart(raw); !ok || start != 4 {
+		t.Fatalf("consolidated base startSeq = %d (ok=%v), want 4", start, ok)
 	}
 	if _, ok := after.sn.Get(rinChunkKey(hub, 0)); ok {
 		t.Fatal("chunk survived consolidation")
@@ -285,15 +287,20 @@ func TestRinChunkScheme(t *testing.T) {
 		t.Fatal("pre-consolidation view lost its chunks")
 	}
 
-	// The next generation starts at seq 0 and merges on top of the base.
+	// Chunk seqs are monotone per page: the next generation continues at
+	// seq 4 (where the folded one left off) and merges on top of the base,
+	// whose persisted startSeq tells readers where live chunks begin.
 	li.publish(6, []int64{hub}, nil)
 	gen2 := testView(vs)
 	defer gen2.Release()
 	if got := gen2.In(hub); !slices.Equal(got, []int64{1, 2, 3, 4, 5, 6}) {
 		t.Fatalf("In after new generation = %v", got)
 	}
-	if raw, ok := gen2.sn.Get(rinChunkKey(hub, 0)); !ok {
-		t.Fatal("new generation's first chunk not at seq 0")
+	if _, ok := gen2.sn.Get(rinChunkKey(hub, 0)); ok {
+		t.Fatal("new generation reused a folded chunk seq")
+	}
+	if raw, ok := gen2.sn.Get(rinChunkKey(hub, 4)); !ok {
+		t.Fatal("new generation's first chunk not at seq 4")
 	} else if ids, _ := decodeIDSet(raw); !slices.Equal(ids, []int64{6}) {
 		t.Fatalf("new generation chunk = %v, want [6]", ids)
 	}
@@ -541,7 +548,10 @@ func TestLinkRestartPreChunkArchive(t *testing.T) {
 		}
 	}
 
-	// New edges on top of a legacy base start a chunk generation at seq 0.
+	// New edges on top of a recovered base start a chunk generation at the
+	// base's persisted startSeq (0 for a truly legacy suffix-free record,
+	// the folded-chunk count for one written by consolidation — seqs are
+	// monotone per page and never reused).
 	var hub int64
 	var hubIn []int64
 	for _, pr := range probes {
@@ -553,12 +563,20 @@ func TestLinkRestartPreChunkArchive(t *testing.T) {
 	if hubIn == nil {
 		t.Fatal("no page with in-links to probe")
 	}
+	var wantSeq int
+	view2b := e2.DerivedSnapshot()
+	if raw, ok := view2b.sn.Get(rinKey(hub)); ok {
+		if _, s, ok := decodeIDSetStart(raw); ok {
+			wantSeq = s
+		}
+	}
+	view2b.Release()
 	const newSrc = int64(1 << 40)
 	e2.links.publish(newSrc, []int64{hub}, nil)
 	view3 := e2.DerivedSnapshot()
 	defer view3.Release()
-	if raw, ok := view3.sn.Get(rinChunkKey(hub, 0)); !ok {
-		t.Fatal("new edge on legacy base did not start a chunk generation")
+	if raw, ok := view3.sn.Get(rinChunkKey(hub, wantSeq)); !ok {
+		t.Fatalf("new edge on recovered base did not start a chunk generation at seq %d", wantSeq)
 	} else if ids, _ := decodeIDSet(raw); !slices.Equal(ids, []int64{newSrc}) {
 		t.Fatalf("first chunk = %v, want [%d]", ids, newSrc)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,17 +14,18 @@ import (
 // panickySource wraps a corpus source and panics on every k-th lookup —
 // the class of failure §3 demands the server shrug off ("recovers from
 // network and programming errors quickly, even if it has to discard a few
-// client events").
+// client events"). The counter is atomic: the engine's analyzer workers
+// call Lookup concurrently.
 type panickySource struct {
 	inner corpusSource
-	every int
-	n     int
+	every int64
+	n     atomic.Int64
 }
 
 func (s *panickySource) Lookup(url string) (Content, bool) {
-	s.n++
-	if s.every > 0 && s.n%s.every == 0 {
-		panic(fmt.Sprintf("synthetic fetch crash on lookup %d", s.n))
+	n := s.n.Add(1)
+	if s.every > 0 && n%s.every == 0 {
+		panic(fmt.Sprintf("synthetic fetch crash on lookup %d", n))
 	}
 	return s.inner.Lookup(url)
 }

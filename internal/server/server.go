@@ -314,6 +314,14 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.UsageBreakdown(user, since))
 }
 
+// handleStatus serves the engine's full counter snapshot (core.Stats) as
+// JSON. Beside the page/user/queue counters this includes two nested
+// observability blocks: Version (the derived-data version store —
+// watermark, layers, pins, GC and cold-tier activity, including the
+// fold generation and whether the last open skipped the recovery scan)
+// and Cache (the shared decoded-record cache — Hits/Misses measure
+// cross-pass reuse, EvictedLRU/EvictedFloor split evictions by cause,
+// Bytes/MaxBytes/Entries size the decoded footprint against its bound).
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Status())
 }

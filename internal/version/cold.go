@@ -17,6 +17,8 @@ package version
 //	<prefix>r/<shard:2B><esc(key)>\x00\x00<^epoch:8B><part:2B> → flags ‖ [nparts] ‖ payload
 //	<prefix>m/wm                                              → watermark (8B BE)
 //	<prefix>m/shards                                          → shard count (4B BE)
+//	<prefix>m/gen                                             → fold generation (8B BE), written before a round's records
+//	<prefix>m/done                                            → closed generation (8B BE) ‖ per-shard record counts (uvarints), written after a round completes
 //
 // Keys escape 0x00 as 0x00 0xff and terminate with 0x00 0x00, so a
 // prefix scan of one key's "version run" can never bleed into a
@@ -38,6 +40,13 @@ package version
 // covering the superseding version is durable, and deletes a tombstone
 // only after everything it shadows, so a torn cleanup can never resurrect
 // an old value.
+//
+// The purge scan is bounded by per-fold generation records: a round
+// writes m/gen before its first record and m/done (with authoritative
+// per-shard record counts) as its last step, so a reopen that finds the
+// two in agreement knows no round was torn, trusts the counts, and skips
+// the O(cold tier) scan entirely. Only an archive whose last round died
+// mid-flight — or one predating the meta — pays the full scan-and-purge.
 
 import (
 	"encoding/binary"
@@ -78,9 +87,24 @@ type coldTier struct {
 	// disk, superseded versions included until cleanup catches up).
 	records []atomic.Int64
 
-	readErrs atomic.Uint64 // cold reads that failed at the kvstore layer
-	folds    atomic.Uint64 // completed fold rounds
-	foldedN  atomic.Uint64 // in-memory entries folded to disk, cumulative
+	// gen is the fold-round generation: m/gen is persisted before a
+	// round's record writes and m/done (same gen + per-shard counts) after
+	// the round fully completes, so Open can tell a cleanly-finished
+	// archive (gen == done: trust the counts, skip the purge scan) from a
+	// torn one (scan and purge as before). Guarded by foldMu on the write
+	// side; atomic so stats can read it.
+	gen atomic.Uint64
+
+	readErrs   atomic.Uint64 // cold reads that failed at the kvstore layer
+	reads      atomic.Uint64 // cold fallthrough gets (chain misses that hit disk)
+	readMisses atomic.Uint64 // fallthrough gets that found nothing
+	folds      atomic.Uint64 // completed fold rounds
+	foldedN    atomic.Uint64 // in-memory entries folded to disk, cumulative
+
+	// recoveryScanned is the number of record keys Open's purge scan
+	// examined (0 after a clean open, which skips the scan entirely).
+	recoveryScanned int64
+	cleanOpen       bool
 
 	// reprobe marks shards whose last fold's splice was abandoned: their
 	// layers stayed in memory, so the next fold re-writes the same
@@ -163,31 +187,61 @@ func Open(kv *kvstore.Store, prefix string, o Options) (*Store, error) {
 	c.records = make([]atomic.Int64, s.Shards())
 	c.reprobe = make([]bool, s.Shards())
 
-	// Purge above-watermark leftovers and count what survives. A record
-	// above the watermark can only come from a fold that died before its
-	// watermark write; serving it would leak an epoch the contract says
-	// was lost, and colliding with a reissued epoch number would be worse.
-	var stale [][]byte
-	err := kv.ScanPrefix(c.recPrefix(), func(k, v []byte) bool {
-		shard, _, epoch, part, ok := c.parseRecordKey(k)
-		if !ok {
-			return true // foreign or corrupt key: leave it alone
-		}
-		if epoch > wm {
-			stale = append(stale, append([]byte(nil), k...))
-			return true
-		}
-		if part == 0 && int(shard) < len(c.records) {
-			c.records[shard].Add(1)
-		}
-		return true
-	})
+	// Fast path: a cleanly-finished archive carries matching m/gen and
+	// m/done generation records (the fold writes gen before a round's
+	// records and done — with per-shard record counts — only after the
+	// round fully completed). When they match, no fold round was in
+	// flight at shutdown, so no record above the watermark can exist and
+	// the persisted counts are authoritative: reopen is O(meta), not
+	// O(cold tier).
+	gen, hasGen, err := c.readGenMeta(kv, "gen")
 	if err != nil {
-		return nil, fmt.Errorf("version: recover cold tier: %w", err)
+		return nil, err
 	}
-	if len(stale) > 0 {
-		if err := kv.DeleteBatchChunked(stale, o.FoldChunk); err != nil {
-			return nil, fmt.Errorf("version: purge torn fold: %w", err)
+	done, counts, hasDone, err := c.readDoneMeta(kv)
+	if err != nil {
+		return nil, err
+	}
+	if gen > done {
+		c.gen.Store(gen)
+	} else {
+		c.gen.Store(done)
+	}
+	if hasGen && hasDone && gen == done && len(counts) == s.Shards() {
+		for i, cnt := range counts {
+			c.records[i].Store(cnt)
+		}
+		c.cleanOpen = true
+	} else {
+		// Torn fold round or pre-generation-meta archive: purge
+		// above-watermark leftovers and count what survives. A record
+		// above the watermark can only come from a fold that died before
+		// its watermark write; serving it would leak an epoch the
+		// contract says was lost, and colliding with a reissued epoch
+		// number would be worse.
+		var stale [][]byte
+		err := kv.ScanPrefix(c.recPrefix(), func(k, v []byte) bool {
+			c.recoveryScanned++
+			shard, _, epoch, part, ok := c.parseRecordKey(k)
+			if !ok {
+				return true // foreign or corrupt key: leave it alone
+			}
+			if epoch > wm {
+				stale = append(stale, append([]byte(nil), k...))
+				return true
+			}
+			if part == 0 && int(shard) < len(c.records) {
+				c.records[shard].Add(1)
+			}
+			return true
+		})
+		if err != nil {
+			return nil, fmt.Errorf("version: recover cold tier: %w", err)
+		}
+		if len(stale) > 0 {
+			if err := kv.DeleteBatchChunked(stale, o.FoldChunk); err != nil {
+				return nil, fmt.Errorf("version: purge torn fold: %w", err)
+			}
 		}
 	}
 
@@ -229,6 +283,56 @@ func (c *coldTier) metaKey(name string) []byte {
 	k = append(k, c.prefix...)
 	k = append(k, "m/"...)
 	return append(k, name...)
+}
+
+// readGenMeta reads an 8-byte big-endian generation meta record.
+func (c *coldTier) readGenMeta(kv *kvstore.Store, name string) (uint64, bool, error) {
+	raw, ok, err := kv.Get(c.metaKey(name))
+	if err != nil {
+		return 0, false, fmt.Errorf("version: read %s meta: %w", name, err)
+	}
+	if !ok || len(raw) != 8 {
+		return 0, false, nil
+	}
+	return binary.BigEndian.Uint64(raw), true, nil
+}
+
+// readDoneMeta reads the fold-completion record: generation (8B BE)
+// followed by one uvarint live-record count per shard. A malformed record
+// reads as absent, degrading the reopen to the full purge scan.
+func (c *coldTier) readDoneMeta(kv *kvstore.Store) (gen uint64, counts []int64, ok bool, err error) {
+	raw, found, err := kv.Get(c.metaKey("done"))
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("version: read done meta: %w", err)
+	}
+	if !found || len(raw) < 8 {
+		return 0, nil, false, nil
+	}
+	gen = binary.BigEndian.Uint64(raw)
+	rest := raw[8:]
+	for len(rest) > 0 {
+		n, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return 0, nil, false, nil
+		}
+		counts = append(counts, int64(n))
+		rest = rest[w:]
+	}
+	return gen, counts, true, nil
+}
+
+// encodeDoneMeta builds the m/done payload from the live record counts.
+func (c *coldTier) encodeDoneMeta(gen uint64) []byte {
+	buf := make([]byte, 8, 8+len(c.records)*binary.MaxVarintLen64)
+	binary.BigEndian.PutUint64(buf, gen)
+	for i := range c.records {
+		n := c.records[i].Load()
+		if n < 0 {
+			n = 0
+		}
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	return buf
 }
 
 // recPrefix is the prefix of every record key.
@@ -364,6 +468,7 @@ func (c *coldTier) appendRecord(dst []kvstore.KV, shard uint32, key string, epoc
 // miss (and are surfaced in Stats.Cold.ReadErrors) — the versioning layer
 // has no error channel on Get, and a miss degrades to a refetch upstream.
 func (c *coldTier) get(shard uint32, key string, max uint64) ([]byte, bool) {
+	c.reads.Add(1)
 	var (
 		val      []byte
 		found    bool
@@ -409,9 +514,11 @@ func (c *coldTier) get(shard uint32, key string, max uint64) ([]byte, bool) {
 	})
 	if err != nil {
 		c.readErrs.Add(1)
+		c.readMisses.Add(1)
 		return nil, false
 	}
 	if tomb || !found || !done {
+		c.readMisses.Add(1)
 		return nil, false
 	}
 	return val, true
@@ -558,6 +665,19 @@ func (s *Store) fold() (int, error) {
 		return 0, nil
 	}
 
+	// Open the fold round's generation before any record lands: while
+	// m/gen is ahead of m/done the archive is "possibly torn" and a
+	// reopen falls back to the full purge scan. m/done (written as the
+	// round's final step) closes the generation again, which is what lets
+	// a clean reopen skip the scan entirely.
+	gen := c.gen.Load() + 1
+	var genBuf [8]byte
+	binary.BigEndian.PutUint64(genBuf[:], gen)
+	if err := c.kv.PutBatch([]kvstore.KV{{Key: c.metaKey("gen"), Value: genBuf[:]}}); err != nil {
+		return 0, err
+	}
+	c.gen.Store(gen)
+
 	// Merge each shard's foldable sub-chain newest-first (first write
 	// wins), entirely outside any lock — the sub-chain at or below the
 	// floor is immutable, and no new layer can appear below the floor
@@ -682,6 +802,11 @@ func (s *Store) fold() (int, error) {
 	// covering the new versions is durable, so deleting what they shadow
 	// can never lose the newest-at-or-below-watermark value, even torn.
 	s.cleanupSuperseded(merged)
+
+	// Close the generation: the round is fully complete, so persist the
+	// final per-shard record counts alongside the gen. Failure is
+	// tolerated — the only cost is one scan-mode reopen.
+	_ = c.kv.PutBatch([]kvstore.KV{{Key: c.metaKey("done"), Value: c.encodeDoneMeta(gen)}})
 	return reclaimed, nil
 }
 
@@ -753,18 +878,35 @@ type ColdStats struct {
 	// number of in-memory entries moved to disk.
 	Folds         uint64
 	FoldedEntries uint64
-	// ReadErrors counts cold reads that failed at the kvstore layer (each
-	// degraded to a miss).
+	// Reads counts snapshot gets that fell through the in-memory chains
+	// to disk; ReadMisses is the subset that found nothing there (the
+	// cost the rin/ chunk-window hint exists to eliminate — see
+	// internal/core). ReadErrors counts cold reads that failed at the
+	// kvstore layer (each degraded to a miss).
+	Reads      uint64
+	ReadMisses uint64
 	ReadErrors uint64
+	// FoldGen is the current fold-round generation. CleanOpen reports
+	// whether the last Open matched m/gen against m/done and skipped the
+	// recovery scan; RecoveryScanned is how many record keys that scan
+	// examined when it did run (0 on a clean open).
+	FoldGen         uint64
+	CleanOpen       bool
+	RecoveryScanned int64
 }
 
 func (c *coldTier) stats() *ColdStats {
 	st := &ColdStats{
-		Watermark:     c.wm.Load(),
-		Folds:         c.folds.Load(),
-		FoldedEntries: c.foldedN.Load(),
-		ReadErrors:    c.readErrs.Load(),
-		Shards:        make([]int64, len(c.records)),
+		Watermark:       c.wm.Load(),
+		Folds:           c.folds.Load(),
+		FoldedEntries:   c.foldedN.Load(),
+		Reads:           c.reads.Load(),
+		ReadMisses:      c.readMisses.Load(),
+		ReadErrors:      c.readErrs.Load(),
+		FoldGen:         c.gen.Load(),
+		CleanOpen:       c.cleanOpen,
+		RecoveryScanned: c.recoveryScanned,
+		Shards:          make([]int64, len(c.records)),
 	}
 	for i := range c.records {
 		n := c.records[i].Load()
@@ -797,10 +939,8 @@ func (sn *Snapshot) Range(fn func(key string, value []byte) bool) {
 	for i := range st.shards {
 		seen := make(map[string]bool)
 		stopped := false
-		for l := st.shards[i].head; l != nil; l = l.next {
-			if l.epoch > st.watermark {
-				continue
-			}
+		l, _ := descendTo(st.shards[i].head, st.watermark)
+		for ; l != nil; l = l.next {
 			for k, e := range l.entries {
 				if seen[k] {
 					continue

@@ -32,7 +32,19 @@
 //     captured chain, skipping layers above the snapshot epoch. It never
 //     touches a store mutex, so reads scale linearly with reader count,
 //     and sharding keeps each walk short: a chain only grows when its own
-//     shard is written.
+//     shard is written. Each layer additionally carries binary-lifting
+//     skip pointers (layer.skips), so the not-yet-visible prefix a
+//     stalled low epoch piles up — hundreds of published-but-invisible
+//     layers above the watermark — is crossed in O(log prefix) hops
+//     rather than walked layer by layer; GC's split at the compaction
+//     floor rides the same ladder.
+//
+// Published epochs are immutable: no publish, GC round, or fold ever
+// rewrites a record under an installed state. Layers above the store
+// (the engine's shared decoded-record cache in internal/core) lean on
+// that — an entry cached under its (epoch, key) can only ever be dropped
+// (memory pressure, or its epoch falling below PinFloor), never
+// invalidated in place.
 //   - The producer-side mutex serialises Begin/Publish/Abort and state
 //     installs against each other only; consumers never observe it.
 //
@@ -110,7 +122,7 @@ type entry struct {
 
 // layer is one shard's slice of a published batch frozen as an immutable
 // map. next points at the next-older layer in the same shard (strictly
-// smaller epoch). Neither field is ever written after the layer is linked
+// smaller epoch). No field is ever written after the layer is linked
 // into an installed state.
 type layer struct {
 	epoch   uint64
@@ -119,6 +131,63 @@ type layer struct {
 	// tombstone-free chain apart without rescanning every entry.
 	tombs int
 	next  *layer
+	// skips are binary-lifting pointers into the same chain: skips[0] is
+	// next, and skips[i] is skips[i-1].skips[i-1] — the layer 2^i links
+	// down. Because chains are strictly epoch-descending, descendTo can
+	// binary-search an epoch boundary in O(log chain) hops instead of
+	// walking every layer, which is what keeps deep out-of-order chains
+	// (a stalled low epoch holding the watermark back while hundreds of
+	// higher epochs publish) readable. Built by linkLayer at construction
+	// time, immutable afterwards like every other field.
+	skips []*layer
+}
+
+// linkLayer points l at next and derives its skip ladder from next's.
+// Must be called before l is linked into an installed state (layers are
+// immutable once published).
+func linkLayer(l, next *layer) {
+	l.next = next
+	if next == nil {
+		l.skips = nil
+		return
+	}
+	skips := make([]*layer, 1, len(next.skips)+1)
+	skips[0] = next
+	for i := 0; ; i++ {
+		hop := skips[i]
+		if i >= len(hop.skips) {
+			break
+		}
+		skips = append(skips, hop.skips[i])
+	}
+	l.skips = skips
+}
+
+// descendTo returns the first layer of the chain with epoch <= target,
+// hopping the skip ladder so the walk is O(log prefix) instead of
+// O(prefix). probes counts layers examined (the scaling tests assert the
+// logarithmic bound); production callers ignore it.
+func descendTo(head *layer, target uint64) (*layer, int) {
+	l := head
+	if l == nil || l.epoch <= target {
+		return l, 0
+	}
+	// Invariant: l.epoch > target. Take the longest skip that stays above
+	// the target; when even next lands at or below it, next is the answer.
+	probes := 1
+	for i := len(l.skips) - 1; i >= 0; {
+		if i >= len(l.skips) {
+			i = len(l.skips) - 1
+			continue
+		}
+		if s := l.skips[i]; s.epoch > target {
+			l = s
+			probes++
+		} else {
+			i--
+		}
+	}
+	return l.next, probes
 }
 
 // shard is one key-hash partition's chain inside a state: its head layer
@@ -480,7 +549,7 @@ func (s *Store) pruneHistoryLocked(cur *state) {
 // copies one node per already-published higher epoch in l's shard.
 func insertLayer(head *layer, l *layer) *layer {
 	if head == nil || l.epoch > head.epoch {
-		l.next = head
+		linkLayer(l, head)
 		return l
 	}
 	var above []*layer
@@ -489,10 +558,12 @@ func insertLayer(head *layer, l *layer) *layer {
 		above = append(above, cur)
 		cur = cur.next
 	}
-	l.next = cur
+	linkLayer(l, cur)
 	newHead := l
 	for i := len(above) - 1; i >= 0; i-- {
-		newHead = &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs, next: newHead}
+		cp := &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs}
+		linkLayer(cp, newHead)
+		newHead = cp
 	}
 	return newHead
 }
@@ -539,10 +610,14 @@ func (sn *Snapshot) view(op string) *state {
 func (sn *Snapshot) Get(key string) ([]byte, bool) {
 	st := sn.view("Get")
 	shard := sn.s.shardOf(key)
-	for l := st.shards[shard].head; l != nil; l = l.next {
-		if l.epoch > st.watermark {
-			continue
-		}
+	l := st.shards[shard].head
+	if l != nil && l.epoch > st.watermark {
+		// Skip the not-yet-visible prefix (epochs published above a still
+		// open lower epoch) in O(log prefix); the chain below is strictly
+		// epoch-descending, so no per-layer epoch check is needed after.
+		l, _ = descendTo(l, st.watermark)
+	}
+	for ; l != nil; l = l.next {
 		if e, ok := l.entries[key]; ok {
 			if e.deleted {
 				return nil, false
@@ -564,10 +639,8 @@ func (sn *Snapshot) Keys() []string {
 	var keys []string
 	for i := range st.shards {
 		seen := make(map[string]bool)
-		for l := st.shards[i].head; l != nil; l = l.next {
-			if l.epoch > st.watermark {
-				continue
-			}
+		l, _ := descendTo(st.shards[i].head, st.watermark)
+		for ; l != nil; l = l.next {
 			for k, e := range l.entries {
 				if seen[k] {
 					continue
@@ -600,6 +673,18 @@ func (sn *Snapshot) Release() {
 // Watermark returns the current published epoch (lock-free).
 func (s *Store) Watermark() uint64 {
 	return s.current.Load().watermark
+}
+
+// PinFloor returns the minimum epoch any pinned snapshot may still be
+// reading — the same floor GC compaction and the cold fold respect.
+// Cache layers above the store (e.g. the engine's decoded-record cache)
+// use it to drop entries no live view can reference anymore; published
+// epochs are immutable, so that eviction is the only invalidation they
+// ever need.
+func (s *Store) PinFloor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pinFloorLocked(s.current.Load())
 }
 
 // pinFloorLocked computes the compaction floor: the minimum epoch any
@@ -698,12 +783,11 @@ func (s *Store) GCShard(i int) int {
 }
 
 // splitAt returns the first layer of the chain with epoch <= floor (the
-// immutable merge region), or nil.
+// immutable merge region), or nil. The descent rides the skip ladder, so
+// GC's pre-merge split is O(log spine) even on deep chains.
 func splitAt(head *layer, floor uint64) *layer {
-	for head != nil && head.epoch > floor {
-		head = head.next
-	}
-	return head
+	l, _ := descendTo(head, floor)
+	return l
 }
 
 // spliceAbove rebuilds the spine of layers strictly above oldBottom
@@ -717,7 +801,9 @@ func spliceAbove(head, oldBottom, newBottom *layer) (*layer, int) {
 	}
 	newHead := newBottom
 	for i := len(above) - 1; i >= 0; i-- {
-		newHead = &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs, next: newHead}
+		cp := &layer{epoch: above[i].epoch, entries: above[i].entries, tombs: above[i].tombs}
+		linkLayer(cp, newHead)
+		newHead = cp
 	}
 	return newHead, len(above)
 }
@@ -842,7 +928,7 @@ func compactChain(mergeHead *layer, dropTombs bool) (bottom *layer, post, reclai
 		return mergeHead, pre, 0, false // already in [single-upper, base] shape
 	}
 	// mid is freshly built above; base is shared, untouched.
-	mid.next = base
+	linkLayer(mid, base)
 	return mid, len(mid.entries) + len(base.entries), pre - (len(mid.entries) + len(base.entries)), true
 }
 

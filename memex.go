@@ -70,6 +70,11 @@ type Config struct {
 	// superseded derived-data layers and folds cold ones to disk
 	// (0 = engine default of 2s; negative disables the demon).
 	GCInterval time.Duration
+	// CacheBytes bounds the shared decoded-record cache that keeps the
+	// cost of repeated mining passes (themes, HITS, recommendation) from
+	// scaling with the number of passes (0 = engine default of 32 MiB;
+	// negative disables caching).
+	CacheBytes int64
 	// Now injects the engine clock — set it when replaying historical
 	// traces so recency decay is computed against the trace era, not the
 	// wall clock (default time.Now).
@@ -109,6 +114,7 @@ func Open(cfg Config) (*Memex, error) {
 		ThemeInterval:     cfg.ThemeInterval,
 		TrainInterval:     cfg.TrainInterval,
 		VersionGCInterval: cfg.GCInterval,
+		DecodedCacheBytes: cfg.CacheBytes,
 		Now:               cfg.Now,
 	})
 	if err != nil {
