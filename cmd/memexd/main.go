@@ -35,6 +35,14 @@ func main() {
 		train  = flag.Duration("train", 30*time.Second, "classifier-retrain demon interval (0 = manual)")
 		gc     = flag.Duration("gc", 0, "version-store GC/fold demon interval (0 = engine default of 2s, negative = manual)")
 		cache  = flag.Int64("cache", 0, "decoded-record cache budget in bytes (0 = engine default of 32 MiB, negative = disabled)")
+
+		// Admission control (all default off; GET /metrics serves the
+		// per-endpoint histograms and shed counters either way).
+		rate     = flag.Float64("rate", 0, "per-client request rate limit in req/s, keyed by user param or remote host (0 = unlimited)")
+		burst    = flag.Int("burst", 0, "rate-limit burst size (0 = 2×rate, min 8)")
+		inflight = flag.Int("inflight", 0, "global cap on concurrently served requests; excess get 503 (0 = unlimited)")
+		shedQ    = flag.Float64("shed-queue", 0.9, "shed write endpoints with 503 when the background event queue is this full (0 = never)")
+		shedLag  = flag.Uint64("shed-foldlag", 0, "shed write endpoints with 503 when the publish watermark runs this many epochs ahead of the durable fold watermark (0 = never)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -79,7 +87,13 @@ func main() {
 	// start on this -dir recover every archived derived record instead of
 	// re-crawling. A hard kill loses only what was published after the
 	// last GC fold (the crash contract in internal/version/cold.go).
-	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: m.HandlerWith(memex.ServeConfig{
+		RatePerSec:        *rate,
+		Burst:             *burst,
+		MaxInFlight:       *inflight,
+		ShedQueueFraction: *shedQ,
+		ShedFoldLag:       *shedLag,
+	})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	sigCh := make(chan os.Signal, 1)

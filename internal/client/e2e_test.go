@@ -4,6 +4,7 @@ import (
 	"net/http/httptest"
 	"slices"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -453,6 +454,195 @@ func TestValidationErrors(t *testing.T) {
 	}
 	if err := cl.Correct(1, "http://never-seen.example/", "/x"); err == nil {
 		t.Fatal("correct on unknown page accepted")
+	}
+}
+
+// TestEndToEndMetricsObserveTraffic drives real API traffic and asserts
+// the /metrics scrape moves with it: per-endpoint request counters and
+// latency histogram samples, plus the engine gauges, all over HTTP.
+func TestEndToEndMetricsObserveTraffic(t *testing.T) {
+	c, e, cl := newTestServer(t)
+	if err := cl.Register(1, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, pid := range c.LeafPages[c.Leaves()[0].ID] {
+		p := c.Page(pid)
+		if p.Front {
+			continue
+		}
+		if err := cl.Visit(1, p.URL, "", tBase, "community"); err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 5 {
+			break
+		}
+	}
+	e.DrainBackground()
+	if _, err := cl.Status(); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		`memex_http_requests_total{endpoint="POST /api/event"} 5`,
+		`memex_http_request_duration_seconds_count{endpoint="POST /api/event"} 5`,
+		`memex_http_request_duration_seconds_bucket{endpoint="POST /api/event",le="+Inf"} 5`,
+		`memex_http_requests_total{endpoint="POST /api/user"} 1`,
+		"memex_engine_visits_total 5",
+		"memex_engine_queue_depth 0",
+		"memex_version_watermark",
+		"memex_cache_hit_ratio",
+		"memex_http_in_flight",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+}
+
+// gatedSource blocks every Lookup until the gate closes, so the
+// background analyzers wedge and the event queue backs up on demand.
+type gatedSource struct {
+	inner core.PageSource
+	gate  chan struct{}
+}
+
+func (s gatedSource) Lookup(url string) (core.Content, bool) {
+	<-s.gate
+	return s.inner.Lookup(url)
+}
+
+// TestEndToEndShedUnderSaturatingBurst is the acceptance test for
+// admission control: with the analyzers wedged, a saturating burst of
+// ingest must be answered with early 503s once the publish pipeline's
+// queue crosses the shed threshold — not queued unboundedly and then
+// dropped silently.
+func TestEndToEndShedUnderSaturatingBurst(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 9, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 15})
+	gate := make(chan struct{})
+	e, err := core.Open(core.Config{
+		Dir:       t.TempDir(),
+		Source:    gatedSource{corpusSource{c}, gate},
+		KV:        kvstore.Options{Sync: kvstore.SyncNever},
+		QueueSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewWith(e, server.Config{ShedQueueFraction: 0.5}))
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(gate)
+		}
+	}
+	t.Cleanup(func() {
+		release()
+		ts.Close()
+		e.Close()
+	})
+	cl := client.New(ts.URL)
+	if err := cl.Register(1, "alice"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturating burst: the two analyzer workers are wedged in Lookup, so
+	// every accepted event stays queued; depth crosses 0.5×16 = 8 and the
+	// server must start refusing.
+	var accepted, shed int
+	var pages []*webcorpus.Page
+	for _, pid := range c.LeafPages[c.Leaves()[0].ID] {
+		pages = append(pages, c.Page(pid))
+	}
+	for i := 0; i < 40; i++ {
+		p := pages[i%len(pages)]
+		err := cl.Visit(1, p.URL, "", tBase.Add(time.Duration(i)*time.Second), "community")
+		switch {
+		case err == nil:
+			accepted++
+		case strings.Contains(err.Error(), "(503)"):
+			shed++
+		default:
+			t.Fatalf("visit %d: unexpected error %v", i, err)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("saturating burst never shed: %d accepted, queue unbounded", accepted)
+	}
+	if accepted == 0 {
+		t.Fatal("admission shed everything, including the under-threshold prefix")
+	}
+
+	// The shed burst is visible to operators: reason-labelled rejection
+	// counters and dropped-event accounting come back over /metrics even
+	// while the pipeline is still wedged.
+	body, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics during overload: %v", err)
+	}
+	if !strings.Contains(body, `memex_http_rejected_total{endpoint="POST /api/event",reason="queue"} `+strconv.Itoa(shed)) {
+		t.Fatalf("queue rejections (%d) not counted in scrape", shed)
+	}
+
+	// Unwedge and drain: the accepted prefix completes, nothing was lost
+	// to the queue's silent drop-oldest path.
+	release()
+	e.DrainBackground()
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsDropped != 0 {
+		t.Fatalf("%d events silently dropped despite shedding", st.EventsDropped)
+	}
+	if st.Visits != int64(accepted) {
+		t.Fatalf("Visits = %d, want the %d accepted", st.Visits, accepted)
+	}
+}
+
+// TestEndToEndRateLimit429 exercises the per-client token bucket over
+// HTTP: a burst beyond the bucket answers 429 with Retry-After while an
+// ops scrape stays reachable.
+func TestEndToEndRateLimit429(t *testing.T) {
+	c := webcorpus.Generate(webcorpus.Config{Seed: 9, TopTopics: 3, SubPerTopic: 2, PagesPerLeaf: 15})
+	e, err := core.Open(core.Config{
+		Dir:    t.TempDir(),
+		Source: corpusSource{c},
+		KV:     kvstore.Options{Sync: kvstore.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewWith(e, server.Config{RatePerSec: 0.001, Burst: 3}))
+	t.Cleanup(func() {
+		ts.Close()
+		e.Close()
+	})
+	cl := client.New(ts.URL)
+
+	var ok, limited int
+	for i := 0; i < 10; i++ {
+		_, err := cl.Themes()
+		switch {
+		case err == nil:
+			ok++
+		case strings.Contains(err.Error(), "(429)"):
+			limited++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok != 3 || limited != 7 {
+		t.Fatalf("ok/limited = %d/%d, want 3/7 (burst then dry)", ok, limited)
+	}
+	if _, err := cl.Metrics(); err != nil {
+		t.Fatalf("ops endpoint throttled with the client: %v", err)
 	}
 }
 

@@ -69,6 +69,11 @@ type CacheStats struct {
 	// floor.
 	EvictedLRU   uint64
 	EvictedFloor uint64
+	// SkippedOversize counts values refused admission because one entry
+	// would have claimed more than its fair share of the budget (see
+	// oversizeDivisor) — each is a whale record served uncached rather
+	// than allowed to flush the working set.
+	SkippedOversize uint64
 	// Bytes/MaxBytes are the approximate decoded footprint and its bound;
 	// Entries is the live entry count.
 	Bytes    int64
@@ -89,14 +94,36 @@ type recordCache struct {
 	entries map[cacheKey]*cacheEntry
 	// head/tail delimit the intrusive recency list: head.next is the most
 	// recently used entry, tail.prev the eviction candidate.
-	head, tail   cacheEntry
-	evictedLRU   uint64
-	evictedFloor uint64
+	head, tail      cacheEntry
+	evictedLRU      uint64
+	evictedFloor    uint64
+	skippedOversize uint64
 }
 
 // entryOverhead is the approximate per-entry bookkeeping cost charged on
 // top of each value's own size (map slot, LRU node, key).
 const entryOverhead = 96
+
+// oversizeDivisor caps any single entry at max/oversizeDivisor bytes.
+// Without the cap one giant decoded record — a hub page with tens of
+// thousands of terms or in-links — evicts the entire hot working set on
+// admission, trading thousands of future hits for one; such whales are
+// served uncached instead (their decode cost is paid per pass, but the
+// working set survives). oversizeFloor keeps entries below 64 KiB always
+// admissible: at any budget where flushing is a real hazard they are
+// harmless, and tiny (test-sized) budgets keep plain LRU semantics.
+const (
+	oversizeDivisor = 8
+	oversizeFloor   = 64 << 10
+)
+
+// maxEntrySize returns the per-entry admission cap for budget max.
+func maxEntrySize(max int64) int64 {
+	if lim := max / oversizeDivisor; lim > oversizeFloor {
+		return lim
+	}
+	return oversizeFloor
+}
 
 // newRecordCache builds a cache bounded at maxBytes of approximate
 // decoded footprint (maxBytes <= 0 disables caching; callers get nil).
@@ -142,13 +169,19 @@ func (c *recordCache) get(k cacheKey) (any, bool) {
 }
 
 // put admits a freshly decoded value, evicting from the cold end until
-// the size bound holds again. A concurrent duplicate insert keeps the
-// incumbent (the values are equal by construction — same immutable
-// record, same decoder).
+// the size bound holds again. Values larger than max/oversizeDivisor are
+// refused outright — admitting one would flush the whole working set for
+// a single entry. A concurrent duplicate insert keeps the incumbent (the
+// values are equal by construction — same immutable record, same
+// decoder).
 func (c *recordCache) put(k cacheKey, val any, size int64) {
 	size += entryOverhead
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if size > maxEntrySize(c.max) {
+		c.skippedOversize++
+		return
+	}
 	if _, ok := c.entries[k]; ok {
 		return
 	}
@@ -195,6 +228,7 @@ func (c *recordCache) stats() CacheStats {
 	c.mu.Lock()
 	st.EvictedLRU = c.evictedLRU
 	st.EvictedFloor = c.evictedFloor
+	st.SkippedOversize = c.skippedOversize
 	st.Bytes = c.size
 	st.MaxBytes = c.max
 	st.Entries = len(c.entries)

@@ -123,6 +123,55 @@ func TestRecordCacheEvictBelowFloor(t *testing.T) {
 	}
 }
 
+// TestRecordCacheWhaleBypassesAdmission is the giant-single-record
+// regression test: before the per-entry size cap, one huge decoded hub
+// page was admitted by evicting the entire working set behind it. The
+// whale must bounce off the cache and leave the hot entries untouched.
+func TestRecordCacheWhaleBypassesAdmission(t *testing.T) {
+	const max = 1 << 20 // 1 MiB budget → per-entry cap is oversizeFloor (64 KiB)
+	c := newRecordCache(max)
+	for page := int64(1); page <= 10; page++ {
+		c.put(ck(1, page), []int64{page}, 64)
+	}
+	// A whale bigger than the per-entry cap but smaller than the whole
+	// budget: plain LRU admission would have flushed most of the working
+	// set to fit it.
+	c.put(ck(1, 999), make([]int64, 1<<15), 512<<10)
+	if _, ok := c.get(ck(1, 999)); ok {
+		t.Fatal("whale record was admitted to the cache")
+	}
+	for page := int64(1); page <= 10; page++ {
+		if _, ok := c.get(ck(1, page)); !ok {
+			t.Fatalf("working-set entry %d flushed by whale admission", page)
+		}
+	}
+	st := c.stats()
+	if st.SkippedOversize != 1 {
+		t.Fatalf("SkippedOversize = %d, want 1", st.SkippedOversize)
+	}
+	if st.EvictedLRU != 0 {
+		t.Fatalf("whale caused %d LRU evictions, want 0", st.EvictedLRU)
+	}
+	if st.Entries != 10 {
+		t.Fatalf("entries = %d, want 10", st.Entries)
+	}
+}
+
+func TestRecordCacheMaxEntrySize(t *testing.T) {
+	cases := []struct {
+		max, want int64
+	}{
+		{256 << 10, oversizeFloor},        // small budget: floor wins (max/8 = 32 KiB)
+		{32 << 20, (32 << 20) / 8},        // default budget: max/8 = 4 MiB
+		{8 * oversizeFloor, oversizeFloor}, // boundary: exactly the floor
+	}
+	for _, tc := range cases {
+		if got := maxEntrySize(tc.max); got != tc.want {
+			t.Errorf("maxEntrySize(%d) = %d, want %d", tc.max, got, tc.want)
+		}
+	}
+}
+
 func TestRecordCacheDisabled(t *testing.T) {
 	if c := newRecordCache(0); c != nil {
 		t.Fatal("zero budget built a cache (caller defaults, not the cache)")

@@ -494,6 +494,37 @@ func (e *Engine) Status() Stats {
 	}
 }
 
+// Pressure is the engine's cheap backpressure signal set, read by the
+// HTTP layer's admission control on every write request. Unlike Status
+// (which walks every shard chain), each field costs one queue-mutex
+// acquisition or a lock-free atomic load, so polling it per-request is
+// free.
+type Pressure struct {
+	// QueueDepth/QueueCap describe the background event queue. The queue
+	// itself never blocks producers — it sheds the *oldest* event under
+	// overflow — so a rising depth is the earliest sign that ingest is
+	// outrunning the analyzers and data is about to be dropped silently.
+	QueueDepth int
+	QueueCap   int
+	// FoldLag is the published watermark minus the durable fold
+	// watermark: how many epochs of derived state a crash would lose, and
+	// a proxy for how far the GC/fold demon has fallen behind publishes.
+	FoldLag uint64
+}
+
+// Pressure returns the current backpressure signals.
+func (e *Engine) Pressure() Pressure {
+	p := Pressure{
+		QueueDepth: e.queue.Len(),
+		QueueCap:   e.queue.Cap(),
+	}
+	wm, cold := e.vs.Watermark(), e.vs.ColdWatermark()
+	if wm > cold {
+		p.FoldLag = wm - cold
+	}
+	return p
+}
+
 // DrainBackground blocks until the background queue is empty and all
 // in-flight analysis has finished (tests and benchmarks).
 func (e *Engine) DrainBackground() {

@@ -136,6 +136,13 @@ func (q *Queue) Len() int {
 	return len(q.buf)
 }
 
+// Cap returns the queue's capacity (after the constructor's minimum
+// clamp), so depth/capacity ratios computed by admission control match
+// the bound Push actually enforces.
+func (q *Queue) Cap() int {
+	return q.cap
+}
+
 // Dropped returns the number of events shed under overload.
 func (q *Queue) Dropped() uint64 {
 	q.mu.Lock()

@@ -5,6 +5,31 @@
 // edits) do only foreground work and return immediately; mining results
 // are served from the demons' published state.
 //
+// # Observability and admission control
+//
+// Every route is wrapped in a middleware chain (middleware.go,
+// metrics.go). GET /metrics serves Prometheus text format with zero
+// module dependencies:
+//
+//   - memex_http_requests_total{endpoint}, memex_http_errors_total
+//     {endpoint,class}, memex_http_rejected_total{endpoint,reason},
+//     memex_http_in_flight, and per-endpoint latency histograms
+//     memex_http_request_duration_seconds{endpoint} with fixed
+//     log-spaced buckets (100µs ×2 … ~13s);
+//   - engine gauges wired from core.Stats: memex_engine_queue_depth /
+//     _capacity / events_dropped_total, memex_version_watermark /
+//     _pinned / _fold_lag_epochs / gc_reclaimed_total,
+//     memex_cache_hit_ratio / _bytes / evicted_total{cause}, and the
+//     link-graph/disk gauges.
+//
+// Admission control is configured through Config (all knobs default
+// off): RatePerSec+Burst run a per-client token bucket (keyed by the
+// `user` param, else remote host) answering 429; MaxInFlight caps
+// global concurrency with 503; ShedQueueFraction and ShedFoldLag shed
+// write endpoints with 503 while the background event queue or the
+// fold watermark lag say the publish pipeline is backed up. /metrics
+// and /api/status are exempt so operators can always see in.
+//
 // Routing gotcha: the mux below registers method-qualified patterns
 // ("POST /api/user", "GET /api/search", ...), which require the enhanced
 // net/http ServeMux shipped in Go 1.22 — and the enhancement is gated on
@@ -15,6 +40,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -27,28 +53,52 @@ import (
 
 // Server wraps an engine with the HTTP API.
 type Server struct {
-	engine *core.Engine
-	mux    *http.ServeMux
+	engine  *core.Engine
+	mux     *http.ServeMux
+	cfg     Config
+	metrics *metricsSet
+	// limiter is nil when rate limiting is disabled.
+	limiter *limiter
+	// pressure supplies the backpressure signals consulted before write
+	// endpoints run; indirect so shed tests can inject a synthetic load.
+	pressure func() core.Pressure
 }
 
-// New builds the handler set over an engine.
+// New builds the handler set over an engine with default middleware
+// settings: full /metrics observability, no admission limits.
 func New(e *core.Engine) *Server {
-	s := &Server{engine: e, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /api/user", s.handleUser)
-	s.mux.HandleFunc("POST /api/event", s.handleEvent)
-	s.mux.HandleFunc("POST /api/bookmark", s.handleBookmark)
-	s.mux.HandleFunc("POST /api/correct", s.handleCorrect)
-	s.mux.HandleFunc("POST /api/folders/import", s.handleImport)
-	s.mux.HandleFunc("GET /api/folders/export", s.handleExport)
-	s.mux.HandleFunc("GET /api/search", s.handleSearch)
-	s.mux.HandleFunc("GET /api/trails", s.handleTrails)
-	s.mux.HandleFunc("GET /api/themes", s.handleThemes)
-	s.mux.HandleFunc("POST /api/themes/rebuild", s.handleRebuild)
-	s.mux.HandleFunc("GET /api/recommend", s.handleRecommend)
-	s.mux.HandleFunc("GET /api/discover", s.handleDiscover)
-	s.mux.HandleFunc("GET /api/profile", s.handleProfile)
-	s.mux.HandleFunc("GET /api/usage", s.handleUsage)
-	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	return NewWith(e, Config{})
+}
+
+// NewWith builds the handler set with explicit observability and
+// admission-control settings.
+func NewWith(e *core.Engine, cfg Config) *Server {
+	s := &Server{
+		engine:   e,
+		mux:      http.NewServeMux(),
+		cfg:      cfg.withDefaults(),
+		metrics:  newMetricsSet(),
+		pressure: e.Pressure,
+	}
+	if s.cfg.RatePerSec > 0 {
+		s.limiter = newLimiter(s.cfg.RatePerSec, s.cfg.Burst, s.cfg.Now)
+	}
+	s.handle("POST /api/user", writeRoute, s.handleUser)
+	s.handle("POST /api/event", writeRoute, s.handleEvent)
+	s.handle("POST /api/bookmark", writeRoute, s.handleBookmark)
+	s.handle("POST /api/correct", writeRoute, s.handleCorrect)
+	s.handle("POST /api/folders/import", writeRoute, s.handleImport)
+	s.handle("GET /api/folders/export", readRoute, s.handleExport)
+	s.handle("GET /api/search", readRoute, s.handleSearch)
+	s.handle("GET /api/trails", readRoute, s.handleTrails)
+	s.handle("GET /api/themes", readRoute, s.handleThemes)
+	s.handle("POST /api/themes/rebuild", writeRoute, s.handleRebuild)
+	s.handle("GET /api/recommend", readRoute, s.handleRecommend)
+	s.handle("GET /api/discover", readRoute, s.handleDiscover)
+	s.handle("GET /api/profile", readRoute, s.handleProfile)
+	s.handle("GET /api/usage", readRoute, s.handleUsage)
+	s.handle("GET /api/status", opsRoute, s.handleStatus)
+	s.handle("GET /metrics", opsRoute, s.handleMetrics)
 	return s
 }
 
@@ -131,9 +181,36 @@ func decode[T any](r *http.Request) (T, error) {
 	return v, nil
 }
 
-func qint64(r *http.Request, name string) int64 {
-	v, _ := strconv.ParseInt(r.URL.Query().Get(name), 10, 64)
-	return v
+// qint64 parses an integer query param. A missing param yields (0, nil);
+// a malformed one yields an error, which handlers surface as a 400
+// distinct from "param required" — `?user=abc` must not silently become
+// user 0 and then masquerade as a missing parameter.
+func qint64(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s", name)
+	}
+	return v, nil
+}
+
+// requireUser parses the mandatory user param, writing the appropriate
+// 400 ("bad user" for malformed, "user required" for absent) and
+// returning ok=false when the handler should stop.
+func requireUser(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	user, err := qint64(r, "user")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return 0, false
+	}
+	if user == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+		return 0, false
+	}
+	return user, true
 }
 
 func qint(r *http.Request, name string, def int) int {
@@ -211,9 +288,8 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
-	user := qint64(r, "user")
-	if user == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+	user, ok := requireUser(w, r)
+	if !ok {
 		return
 	}
 	n, err := s.engine.ImportBookmarks(user, r.Body)
@@ -224,14 +300,22 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"imported": n})
 }
 
+// handleExport renders the tree to a buffer before any header is
+// written: streaming straight to the ResponseWriter committed a 200
+// before ExportBookmarks could fail, leaving clients a truncated
+// bookmark file and no error signal. An engine failure is now a 500.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
-	user := qint64(r, "user")
-	if user == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+	user, ok := requireUser(w, r)
+	if !ok {
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.engine.ExportBookmarks(user, &buf); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	s.engine.ExportBookmarks(user, w)
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -240,15 +324,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("q required"))
 		return
 	}
-	hits := s.engine.Search(qint64(r, "user"), q, qint(r, "k", 10))
+	// user is optional for search (anonymous queries see only community
+	// pages) but must still parse when present.
+	user, err := qint64(r, "user")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	hits := s.engine.Search(user, q, qint(r, "k", 10))
 	writeJSON(w, http.StatusOK, hits)
 }
 
 func (s *Server) handleTrails(w http.ResponseWriter, r *http.Request) {
-	user := qint64(r, "user")
+	user, ok := requireUser(w, r)
+	if !ok {
+		return
+	}
 	folder := r.URL.Query().Get("folder")
-	if user == 0 || folder == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("user and folder required"))
+	if folder == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("folder required"))
 		return
 	}
 	ctx := s.engine.Trails(user, folder, qint(r, "k", 20))
@@ -265,9 +359,8 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	user := qint64(r, "user")
-	if user == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+	user, ok := requireUser(w, r)
+	if !ok {
 		return
 	}
 	byProfile := r.URL.Query().Get("method") != "url"
@@ -275,10 +368,13 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
-	user := qint64(r, "user")
+	user, ok := requireUser(w, r)
+	if !ok {
+		return
+	}
 	folder := r.URL.Query().Get("folder")
-	if user == 0 || folder == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("user and folder required"))
+	if folder == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("folder required"))
 		return
 	}
 	out := s.engine.Discover(user, folder, qint(r, "budget", 200), qint(r, "k", 10))
@@ -286,9 +382,8 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
-	user := qint64(r, "user")
-	if user == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+	user, ok := requireUser(w, r)
+	if !ok {
 		return
 	}
 	p := s.engine.Profile(user)
@@ -299,17 +394,22 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"user": p.User, "weights": p.Weights})
 }
 
+// handleUsage rejects a malformed `since` instead of silently falling
+// back to the all-time breakdown — quietly wrong data is worse than a
+// 400 the client can fix.
 func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
-	user := qint64(r, "user")
-	if user == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("user required"))
+	user, ok := requireUser(w, r)
+	if !ok {
 		return
 	}
 	var since time.Time
 	if v := r.URL.Query().Get("since"); v != "" {
-		if t, err := time.Parse(time.RFC3339, v); err == nil {
-			since = t
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since: want RFC3339"))
+			return
 		}
+		since = t
 	}
 	writeJSON(w, http.StatusOK, s.engine.UsageBreakdown(user, since))
 }

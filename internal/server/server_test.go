@@ -1,0 +1,365 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memex/internal/core"
+	"memex/internal/kvstore"
+)
+
+// stubSource resolves every URL to a tiny page: enough for the ingest
+// pipeline to run end to end without a corpus.
+type stubSource struct{}
+
+func (stubSource) Lookup(url string) (core.Content, bool) {
+	return core.Content{URL: url, Title: "t", Text: "alpha beta gamma"}, true
+}
+
+func newTestEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.Open(core.Config{
+		Dir:    t.TempDir(),
+		Source: stubSource{},
+		KV:     kvstore.Options{Sync: kvstore.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestBadParamsReturn400 is the regression table for the silent-parse
+// bugs: a malformed user must say "bad user" (not masquerade as
+// missing), a missing one must say "user required", and a malformed
+// since must be refused instead of quietly widening to all time.
+func TestBadParamsReturn400(t *testing.T) {
+	ts := httptest.NewServer(New(newTestEngine(t)))
+	defer ts.Close()
+
+	cases := []struct {
+		name    string
+		method  string
+		path    string
+		wantErr string
+	}{
+		{"search bad user", "GET", "/api/search?q=x&user=abc", "bad user"},
+		{"usage bad user", "GET", "/api/usage?user=abc", "bad user"},
+		{"usage missing user", "GET", "/api/usage", "user required"},
+		{"usage bad since", "GET", "/api/usage?user=1&since=yesterday", "bad since"},
+		{"export bad user", "GET", "/api/folders/export?user=abc", "bad user"},
+		{"export missing user", "GET", "/api/folders/export", "user required"},
+		{"import bad user", "POST", "/api/folders/import?user=abc", "bad user"},
+		{"recommend bad user", "GET", "/api/recommend?user=abc", "bad user"},
+		{"profile bad user", "GET", "/api/profile?user=abc", "bad user"},
+		{"trails bad user", "GET", "/api/trails?user=abc&folder=f", "bad user"},
+		{"trails missing folder", "GET", "/api/trails?user=1", "folder required"},
+		{"discover bad user", "GET", "/api/discover?user=abc&folder=f", "bad user"},
+		{"discover missing folder", "GET", "/api/discover?user=1", "folder required"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, body)
+			}
+			if !strings.Contains(string(body), tc.wantErr) {
+				t.Fatalf("body = %s, want error containing %q", body, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestMalformedUserDistinctFromMissing pins the exact distinction the
+// qint64 fix exists for: ?user=abc used to parse to 0 and return the
+// misleading "user required".
+func TestMalformedUserDistinctFromMissing(t *testing.T) {
+	ts := httptest.NewServer(New(newTestEngine(t)))
+	defer ts.Close()
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	malformed := get("/api/profile?user=abc")
+	missing := get("/api/profile")
+	if !strings.Contains(malformed, "bad user") || strings.Contains(malformed, "required") {
+		t.Fatalf("malformed user body = %s", malformed)
+	}
+	if !strings.Contains(missing, "user required") {
+		t.Fatalf("missing user body = %s", missing)
+	}
+}
+
+func TestRateLimitAnswers429(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	srv := NewWith(newTestEngine(t), Config{RatePerSec: 0.001, Burst: 2, Now: clk.now})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var ok200, got429 int
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(ts.URL + "/api/themes?user=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			got429++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if ok200 != 2 || got429 != 4 {
+		t.Fatalf("200/429 = %d/%d, want 2/4 (burst then dry)", ok200, got429)
+	}
+	// A different user (different bucket) still gets in.
+	resp, err := http.Get(ts.URL + "/api/themes?user=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("independent client got %d", resp.StatusCode)
+	}
+	// The ops endpoints stay reachable for the throttled client.
+	for _, path := range []string{"/metrics?user=7", "/api/status?user=7"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ops endpoint %s throttled: %d", path, resp.StatusCode)
+		}
+	}
+	// The refusals are visible in the shed counters.
+	body := fetchMetrics(t, ts.URL)
+	if !strings.Contains(body, `memex_http_rejected_total{endpoint="GET /api/themes",reason="rate"} 4`) {
+		t.Fatalf("rate rejections not counted:\n%s", grepMetrics(body, "rejected"))
+	}
+}
+
+func TestInFlightCapAnswers503(t *testing.T) {
+	srv := NewWith(newTestEngine(t), Config{MaxInFlight: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Simulate one request already being served; the next must bounce.
+	srv.metrics.inFlight.Add(1)
+	resp, err := http.Get(ts.URL + "/api/themes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 at capacity", resp.StatusCode)
+	}
+	// Ops endpoints are exempt: a saturated server must still answer its
+	// operators.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics refused at capacity: %d", resp.StatusCode)
+	}
+	srv.metrics.inFlight.Add(-1)
+	resp, err = http.Get(ts.URL + "/api/themes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d after capacity freed, want 200", resp.StatusCode)
+	}
+}
+
+func TestWriteShedOnSyntheticPressure(t *testing.T) {
+	srv := NewWith(newTestEngine(t), Config{ShedQueueFraction: 0.9})
+	// Inject a synthetic backed-up pipeline; reads must pass, writes 503.
+	srv.pressure = func() core.Pressure {
+		return core.Pressure{QueueDepth: 95, QueueCap: 100}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/api/event", "application/json",
+		strings.NewReader(`{"user":1,"url":"http://x/"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write under pressure: status %d body %s, want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("shed body = %s", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response without Retry-After")
+	}
+	// Reads are not shed by pipeline pressure.
+	resp, err = http.Get(ts.URL + "/api/themes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read shed under write pressure: %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpointMovesWithTraffic drives real requests through the
+// chain and checks the scrape reflects them.
+func TestMetricsEndpointMovesWithTraffic(t *testing.T) {
+	e := newTestEngine(t)
+	ts := httptest.NewServer(New(e))
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/api/event", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"user":1,"url":"http://page%d/"}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// One 4xx for the error counter.
+	resp, err := http.Get(ts.URL + "/api/profile?user=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	e.DrainBackground()
+
+	body := fetchMetrics(t, ts.URL)
+	for _, want := range []string{
+		`memex_http_requests_total{endpoint="POST /api/event"} 3`,
+		`memex_http_request_duration_seconds_count{endpoint="POST /api/event"} 3`,
+		`memex_http_errors_total{endpoint="GET /api/profile",class="4xx"} 1`,
+		"memex_engine_visits_total 3",
+		"memex_engine_queue_depth",
+		"memex_version_watermark",
+		"memex_cache_hit_ratio",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsConcurrentWithIngest hammers /metrics while events ingest;
+// run under -race (CI's race job covers this package) it proves the
+// scrape path takes no lock the request path misses.
+func TestMetricsConcurrentWithIngest(t *testing.T) {
+	e := newTestEngine(t)
+	ts := httptest.NewServer(New(e))
+	defer ts.Close()
+
+	const (
+		scrapers = 4
+		writers  = 4
+		perG     = 25
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				resp, err := http.Post(ts.URL+"/api/event", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"user":%d,"url":"http://w%d/p%d"}`, g+1, g, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	e.DrainBackground()
+
+	body := fetchMetrics(t, ts.URL)
+	want := fmt.Sprintf(`memex_http_requests_total{endpoint="POST /api/event"} %d`, writers*perG)
+	if !strings.Contains(body, want) {
+		t.Fatalf("lost samples under concurrency: want %q in\n%s", want, grepMetrics(body, "requests_total"))
+	}
+}
+
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// grepMetrics filters a scrape to lines containing substr for readable
+// failure messages.
+func grepMetrics(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

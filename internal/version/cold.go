@@ -929,6 +929,18 @@ func (s *Store) ColdRecords() int64 {
 	return n
 }
 
+// ColdWatermark reports the durable fold watermark — the highest epoch
+// whose records are safely on disk — lock-free, for callers that poll it
+// on a hot path (admission control compares it against Watermark to
+// measure how far the fold has fallen behind publishes). 0 for purely
+// in-memory stores.
+func (s *Store) ColdWatermark() uint64 {
+	if s.cold == nil {
+		return 0
+	}
+	return s.cold.wm.Load()
+}
+
 // Range calls fn for every live key visible in the snapshot with its
 // value, in-memory or cold, in unspecified order; each key is yielded
 // exactly once (the newest version at or below the snapshot epoch wins).
