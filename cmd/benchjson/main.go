@@ -5,10 +5,14 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -count=5 ./... | benchjson -commit $SHA > BENCH_2026-07-28.json
+//	benchjson -load < LOAD_2026-08-08_abc123.json   # validate an SLO point
 //
 // Repeated runs of the same benchmark (-count > 1) are aggregated into
 // one entry carrying the min/mean/max ns/op, which is what makes the
-// trajectory robust to scheduler noise on shared CI runners.
+// trajectory robust to scheduler noise on shared CI runners. With
+// -load the tool instead validates and canonically re-emits one of
+// cmd/memexload's LOAD_*.json SLO points — the same trajectory
+// convention, measured in quantiles instead of ns/op.
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"memex/internal/load"
 )
 
 // Point is one benchmark's aggregated measurement in a trajectory file.
@@ -41,23 +47,50 @@ type Point struct {
 
 // File is the BENCH_<date>.json schema.
 type File struct {
-	Date       string  `json:"date"`
-	Commit     string  `json:"commit,omitempty"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
+	Date      string `json:"date"`
+	Commit    string `json:"commit,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// CPUs is the runner's logical core count. Shared CI hardware is not
+	// a pinned machine: the shard-scaling benchmarks degenerate to serial
+	// merges on few cores, so a trajectory walker (and the CI benchstat
+	// step) must know when two points ran on different shapes before
+	// treating their delta as a regression.
+	CPUs       int     `json:"cpus"`
 	Benchmarks []Point `json:"benchmarks"`
 }
 
 func main() {
 	commit := flag.String("commit", "", "commit hash to record")
 	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date to record (YYYY-MM-DD)")
+	loadMode := flag.Bool("load", false, "stdin is a LOAD_*.json SLO report: validate it and re-emit the canonical encoding instead of parsing bench output")
 	flag.Parse()
 
+	if *loadMode {
+		if err := runLoad(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout, *commit, *date); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runLoad is the SLO-point half of the trajectory tooling: it parses a
+// load report (validating the schema, sorted endpoint rows and ordered
+// quantiles) and re-emits the canonical encoding. A report that
+// survives this byte-identically is guaranteed readable by everything
+// that walks LOAD_* history.
+func runLoad(r io.Reader, w io.Writer) error {
+	rep, err := load.ReadReport(r)
+	if err != nil {
+		return err
+	}
+	return rep.WriteJSON(w)
 }
 
 func run(r io.Reader, w io.Writer, commit, date string) error {
@@ -80,6 +113,7 @@ func run(r io.Reader, w io.Writer, commit, date string) error {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
 		Benchmarks: points,
 	}
 	enc := json.NewEncoder(w)

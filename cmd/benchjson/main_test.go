@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
+
+	"memex/internal/load"
 )
 
 const sampleOutput = `goos: linux
@@ -83,5 +86,64 @@ func TestEmptyHistoryEmitsValidFile(t *testing.T) {
 	}
 	if f.Commit != "abc1234" || f.Date != "2026-08-08" {
 		t.Fatalf("metadata lost on empty run: %+v", f)
+	}
+}
+
+func TestRunRecordsRunnerShape(t *testing.T) {
+	// Satellite of the CI hardening: a trajectory point without the
+	// runner's core count can't be compared honestly against its
+	// neighbors (shard-scaling benchmarks degenerate on small runners).
+	var out bytes.Buffer
+	if err := run(strings.NewReader("BenchmarkX 100 50 ns/op\n"), &out, "", "2026-08-08"); err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.CPUs != runtime.NumCPU() || f.CPUs <= 0 {
+		t.Fatalf("cpus = %d, want %d", f.CPUs, runtime.NumCPU())
+	}
+	if f.GOARCH != runtime.GOARCH {
+		t.Fatalf("goarch = %q, want %q", f.GOARCH, runtime.GOARCH)
+	}
+}
+
+func TestLoadModeRoundTripsCanonically(t *testing.T) {
+	rep := &load.Report{
+		Schema:   load.SchemaLoad,
+		Date:     "2026-08-08",
+		Commit:   "abc1234",
+		Target:   "http://localhost:8600",
+		Scenario: "ci-small",
+		Seed:     1,
+		Requests: 3,
+		Endpoints: []load.EndpointReport{
+			{Endpoint: "GET /api/status", Count: 2, P50Ms: 1, P99Ms: 2, P999Ms: 3},
+			{Endpoint: "POST /api/event", Count: 1, P50Ms: 1, P99Ms: 1, P999Ms: 1},
+		},
+	}
+	var canonical bytes.Buffer
+	if err := rep.WriteJSON(&canonical); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runLoad(bytes.NewReader(canonical.Bytes()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonical.Bytes(), out.Bytes()) {
+		t.Fatalf("-load did not round-trip byte-identically:\n%s\nvs\n%s", canonical.Bytes(), out.Bytes())
+	}
+
+	// And it must refuse what the schema forbids: unsorted endpoint rows
+	// would break every history walker that bisects by name.
+	bad := *rep
+	bad.Endpoints = []load.EndpointReport{rep.Endpoints[1], rep.Endpoints[0]}
+	var badBuf bytes.Buffer
+	if err := bad.WriteJSON(&badBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad(bytes.NewReader(badBuf.Bytes()), &out); err == nil {
+		t.Fatal("-load accepted unsorted endpoint rows")
 	}
 }

@@ -61,13 +61,39 @@ func (c *Client) get(path string, q url.Values, out any) error {
 	return decodeResp(resp, out)
 }
 
+// APIError is a non-2xx answer from the server, carrying the status
+// code and the Retry-After header so callers (the load harness, retry
+// loops) can tell a polite admission shed — 429/503 with a backoff
+// hint — from a genuinely failed request without string-matching the
+// message.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// RetryAfter is the Retry-After header, "" when absent. Admission
+	// rejections always carry it; its absence on a 429/503 is an SLO
+	// violation the load harness counts.
+	RetryAfter string
+	// Msg is the server's error-envelope message, "" when undecodable.
+	Msg string
+}
+
+// Error preserves the historical formats ("memex: <msg> (<code>)" /
+// "memex: HTTP <code>") that tests and tools already match on.
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("memex: %s (%d)", e.Msg, e.Status)
+	}
+	return fmt.Sprintf("memex: HTTP %d", e.Status)
+}
+
 func decodeResp(resp *http.Response, out any) error {
 	if resp.StatusCode != http.StatusOK {
+		ae := &APIError{Status: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After")}
 		var e server.ErrBody
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("memex: %s (%d)", e.Error, resp.StatusCode)
+			ae.Msg = e.Error
 		}
-		return fmt.Errorf("memex: HTTP %d", resp.StatusCode)
+		return ae
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -82,15 +108,19 @@ func (c *Client) Register(id int64, name string) error {
 }
 
 // Visit reports a page view. privacy is "off", "private" or "community".
+// The user id rides the query string as well as the body: the server's
+// per-client rate limiter keys on the `user` param, and a write that
+// only names its user in the JSON would be throttled by remote host —
+// one NAT gateway's worth of users sharing a single bucket.
 func (c *Client) Visit(user int64, pageURL, referrer string, at time.Time, privacy string) error {
-	return c.postJSON("/api/event", server.EventReq{
+	return c.postJSON(fmt.Sprintf("/api/event?user=%d", user), server.EventReq{
 		User: user, URL: pageURL, Referrer: referrer, Time: at, Privacy: privacy,
 	}, nil)
 }
 
 // Bookmark files a page into a folder.
 func (c *Client) Bookmark(user int64, pageURL, folder string, at time.Time) error {
-	return c.postJSON("/api/bookmark", server.BookmarkReq{
+	return c.postJSON(fmt.Sprintf("/api/bookmark?user=%d", user), server.BookmarkReq{
 		User: user, URL: pageURL, Folder: folder, Time: at,
 	}, nil)
 }

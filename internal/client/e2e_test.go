@@ -1,6 +1,7 @@
 package client_test
 
 import (
+	"errors"
 	"net/http/httptest"
 	"slices"
 	"sort"
@@ -634,6 +635,16 @@ func TestEndToEndRateLimit429(t *testing.T) {
 			ok++
 		case strings.Contains(err.Error(), "(429)"):
 			limited++
+			// The typed error is the load harness's shed/lost oracle: it
+			// must carry the status code and the Retry-After hint, not
+			// just a matchable string.
+			var ae *client.APIError
+			if !errors.As(err, &ae) {
+				t.Fatalf("429 is not an *APIError: %v", err)
+			}
+			if ae.Status != 429 || ae.RetryAfter == "" {
+				t.Fatalf("APIError{Status: %d, RetryAfter: %q}, want 429 with a hint", ae.Status, ae.RetryAfter)
+			}
 		default:
 			t.Fatalf("unexpected error: %v", err)
 		}

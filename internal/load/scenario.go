@@ -1,0 +1,251 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Kind is the request type a schedule entry drives.
+type Kind int
+
+const (
+	// Visit posts one page-view event (POST /api/event) — the write
+	// path, subject to rate limiting and backpressure shedding.
+	Visit Kind = iota + 1
+	// Search runs a ranked full-text query (GET /api/search) — the
+	// human read path.
+	Search
+	// StatusRead polls GET /api/status — the ops read whose p99 the CI
+	// SLO gate budgets.
+	StatusRead
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Visit:
+		return "visit"
+	case Search:
+		return "search"
+	case StatusRead:
+		return "status"
+	}
+	return "unknown"
+}
+
+// Request is one scheduled call: who issues it, when (offset from
+// scenario start), and against what. Pages and queries are indices into
+// the universe the runner is given, so a schedule is comparable and
+// printable without binding to concrete URLs.
+type Request struct {
+	At     time.Duration
+	Client string
+	Kind   Kind
+	User   int64
+	// Page indexes the URL universe (Visit only).
+	Page int
+	// Ref is the referrer's URL index, -1 when the visit opens a session.
+	Ref int
+	// Query indexes the query universe (Search only).
+	Query int
+}
+
+// Scenario describes one client population. All knobs are plain data so
+// a scenario pins exactly (the CI schedule is a function of this struct
+// and a seed, nothing else).
+type Scenario struct {
+	Name     string
+	Duration time.Duration
+
+	// Humans: session count, mean think time between actions, and the
+	// fraction of actions that are searches instead of visits.
+	Humans          int
+	HumanThink      time.Duration
+	HumanSearchFrac float64
+
+	// Robots: crawler count, visits per burst, gap between requests
+	// inside a burst, idle pause between bursts.
+	Robots     int
+	RobotBurst int
+	RobotGap   time.Duration
+	RobotIdle  time.Duration
+
+	// MonitorEvery is the status-read cadence (0 disables the monitor —
+	// and with it the p99 status-read SLO anchor).
+	MonitorEvery time.Duration
+
+	// Pages/Queries size the universes the indices draw from.
+	Pages   int
+	Queries int
+
+	// ZipfS/ZipfV shape human page popularity (rand.Zipf; S>1, V>=1).
+	ZipfS float64
+	ZipfV float64
+}
+
+// Lookup returns a pinned scenario by name. These are part of the CI
+// contract: changing "ci-small" changes what every future SLO point
+// measures, so treat edits like benchmark renames.
+func Lookup(name string) (Scenario, bool) {
+	switch name {
+	case "ci-small":
+		// Small enough to finish inside a CI minute, mixed enough to
+		// exercise every admission path: ~200 human actions, ~2 robot
+		// burst cycles each, a 6–7 Hz monitor.
+		return Scenario{
+			Name:            "ci-small",
+			Duration:        10 * time.Second,
+			Humans:          8,
+			HumanThink:      400 * time.Millisecond,
+			HumanSearchFrac: 0.25,
+			Robots:          2,
+			RobotBurst:      25,
+			RobotGap:        5 * time.Millisecond,
+			RobotIdle:       2 * time.Second,
+			MonitorEvery:    150 * time.Millisecond,
+			Pages:           120,
+			Queries:         12,
+			ZipfS:           1.3,
+			ZipfV:           1,
+		}, true
+	case "unit":
+		// Sub-two-second population for the harness's own tests.
+		return Scenario{
+			Name:            "unit",
+			Duration:        1200 * time.Millisecond,
+			Humans:          3,
+			HumanThink:      120 * time.Millisecond,
+			HumanSearchFrac: 0.3,
+			Robots:          1,
+			RobotBurst:      10,
+			RobotGap:        4 * time.Millisecond,
+			RobotIdle:       400 * time.Millisecond,
+			MonitorEvery:    60 * time.Millisecond,
+			Pages:           30,
+			Queries:         4,
+			ZipfS:           1.3,
+			ZipfV:           1,
+		}, true
+	}
+	return Scenario{}, false
+}
+
+// HumanUser returns the user id of human session i (1-based ids so the
+// server's "user required" validation is never tripped by a zero).
+func (sc Scenario) HumanUser(i int) int64 { return int64(i) + 1 }
+
+// RobotUser returns the user id of robot r, disjoint from every human.
+func (sc Scenario) RobotUser(r int) int64 { return int64(sc.Humans) + int64(r) + 1 }
+
+// Users lists every user id the scenario sends traffic as, in schedule
+// order; the runner registers them before the clock starts.
+func (sc Scenario) Users() []int64 {
+	ids := make([]int64, 0, sc.Humans+sc.Robots)
+	for i := 0; i < sc.Humans; i++ {
+		ids = append(ids, sc.HumanUser(i))
+	}
+	for r := 0; r < sc.Robots; r++ {
+		ids = append(ids, sc.RobotUser(r))
+	}
+	return ids
+}
+
+// Schedule expands the scenario into its flat request list, sorted by
+// offset. The expansion is pure and deterministic: every random draw
+// comes from per-client rand sources derived from seed, so the same
+// (scenario, seed) pair yields an identical schedule on any host, any
+// run — the property the CI determinism gate asserts.
+func (sc Scenario) Schedule(seed int64) []Request {
+	var reqs []Request
+
+	// Per-client sub-seeds keep each client's stream independent of how
+	// many other clients exist, which keeps small scenario edits from
+	// reshuffling everything (and keeps debugging sane).
+	sub := func(i int64) *rand.Rand { return rand.New(rand.NewSource(seed*1_000_003 + i)) }
+
+	for i := 0; i < sc.Humans; i++ {
+		rng := sub(int64(i))
+		zipf := rand.NewZipf(rng, sc.ZipfS, sc.ZipfV, uint64(sc.Pages-1))
+		name := fmt.Sprintf("human-%d", i)
+		user := sc.HumanUser(i)
+		// Stagger session starts across one think time so the population
+		// doesn't arrive as a thundering herd at t=0.
+		t := time.Duration(rng.Int63n(int64(sc.HumanThink) + 1))
+		ref := -1
+		for t < sc.Duration {
+			if rng.Float64() < sc.HumanSearchFrac {
+				reqs = append(reqs, Request{
+					At: t, Client: name, Kind: Search, User: user,
+					Page: -1, Ref: -1, Query: int(zipf.Uint64()) % sc.Queries,
+				})
+			} else {
+				page := int(zipf.Uint64())
+				reqs = append(reqs, Request{
+					At: t, Client: name, Kind: Visit, User: user,
+					Page: page, Ref: ref, Query: -1,
+				})
+				ref = page
+			}
+			t += time.Duration(rng.ExpFloat64() * float64(sc.HumanThink))
+		}
+	}
+
+	for r := 0; r < sc.Robots; r++ {
+		rng := sub(int64(sc.Humans) + int64(r))
+		name := fmt.Sprintf("robot-%d", r)
+		user := sc.RobotUser(r)
+		// Each robot starts its crawl at a random namespace offset and
+		// walks sequentially — the archive-robot signature.
+		cursor := rng.Intn(sc.Pages)
+		t := time.Duration(rng.Int63n(int64(sc.RobotIdle)/2 + 1))
+		for t < sc.Duration {
+			ref := -1
+			for b := 0; b < sc.RobotBurst && t < sc.Duration; b++ {
+				reqs = append(reqs, Request{
+					At: t, Client: name, Kind: Visit, User: user,
+					Page: cursor, Ref: ref, Query: -1,
+				})
+				ref = cursor
+				cursor = (cursor + 1) % sc.Pages
+				t += sc.RobotGap
+			}
+			t += sc.RobotIdle
+		}
+	}
+
+	if sc.MonitorEvery > 0 {
+		for t := sc.MonitorEvery; t < sc.Duration; t += sc.MonitorEvery {
+			reqs = append(reqs, Request{
+				At: t, Client: "monitor", Kind: StatusRead,
+				Page: -1, Ref: -1, Query: -1,
+			})
+		}
+	}
+
+	// Stable sort keyed (At, Client): each client's own stream is already
+	// ordered, so the merged schedule is fully deterministic.
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].At != reqs[j].At {
+			return reqs[i].At < reqs[j].At
+		}
+		return reqs[i].Client < reqs[j].Client
+	})
+	return reqs
+}
+
+// FormatSchedule renders a schedule one request per line, the form the
+// determinism check diffs (`memexload -print-schedule`).
+func FormatSchedule(w io.Writer, reqs []Request) {
+	for _, r := range reqs {
+		switch r.Kind {
+		case Visit:
+			fmt.Fprintf(w, "%v %s visit user=%d page=%d ref=%d\n", r.At, r.Client, r.User, r.Page, r.Ref)
+		case Search:
+			fmt.Fprintf(w, "%v %s search user=%d query=%d\n", r.At, r.Client, r.User, r.Query)
+		case StatusRead:
+			fmt.Fprintf(w, "%v %s status\n", r.At, r.Client)
+		}
+	}
+}

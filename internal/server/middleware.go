@@ -26,6 +26,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -161,6 +162,97 @@ func clientKey(r *http.Request) string {
 	return r.RemoteAddr
 }
 
+// --- adaptive Retry-After ---
+
+// Retry-After clamps: never below 1s (the old constant, and the floor
+// HTTP date-less hints make sense at), never above 60s (past a minute
+// the estimate is noise and a well-behaved client should just poll).
+const (
+	minRetryAfterSec = 1
+	maxRetryAfterSec = 60
+)
+
+// drainEstimator turns successive Pressure samples into an event-queue
+// drain-rate estimate, so a shed response can tell the client *when*
+// the queue is likely to be back under its admission threshold instead
+// of the flat "1" that made every robot in a fleet retry in lockstep
+// one second later. Every write request observes the queue depth it
+// just read (admitted or shed — rejected traffic is exactly when the
+// estimate matters), and the rate is an EWMA of depth deltas per
+// second, positive while draining.
+type drainEstimator struct {
+	mu        sync.Mutex
+	valid     bool
+	lastT     time.Time
+	lastDepth int
+	// rate is the smoothed drain rate in events/sec; negative while the
+	// queue is growing.
+	rate float64
+	// seeded flips after the first rate sample (the EWMA needs a base).
+	seeded bool
+}
+
+// observe feeds one (depth, now) sample. Same-instant samples (burst
+// arrivals inside one clock tick) are skipped rather than dividing by
+// zero or spiking the rate.
+func (d *drainEstimator) observe(depth int, t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.valid {
+		d.valid, d.lastT, d.lastDepth = true, t, depth
+		return
+	}
+	dt := t.Sub(d.lastT).Seconds()
+	if dt <= 0 {
+		return
+	}
+	inst := float64(d.lastDepth-depth) / dt
+	if !d.seeded {
+		d.rate, d.seeded = inst, true
+	} else {
+		d.rate = 0.5*inst + 0.5*d.rate
+	}
+	d.lastT, d.lastDepth = t, depth
+}
+
+// retryAfter estimates the seconds until a queue at depth drains to
+// target (the admission threshold), clamped to [1s, 60s]. With no rate
+// estimate yet the old constant 1 stands; a non-draining (growing)
+// queue pins to the max — telling a client to come back in a second
+// while the queue climbs is how retry storms start.
+func (d *drainEstimator) retryAfter(depth, target int) int {
+	d.mu.Lock()
+	rate, seeded := d.rate, d.seeded
+	d.mu.Unlock()
+	excess := depth - target
+	if excess <= 0 {
+		return minRetryAfterSec
+	}
+	if !seeded {
+		return minRetryAfterSec
+	}
+	if rate <= 0 {
+		return maxRetryAfterSec
+	}
+	secs := int(math.Ceil(float64(excess) / rate))
+	if secs < minRetryAfterSec {
+		return minRetryAfterSec
+	}
+	if secs > maxRetryAfterSec {
+		return maxRetryAfterSec
+	}
+	return secs
+}
+
+// shedTarget is the queue depth below which writes are admitted again —
+// the re-entry point a shed client should aim its retry at.
+func shedTarget(p core.Pressure, cfg Config) int {
+	if cfg.ShedQueueFraction <= 0 || p.QueueCap <= 0 {
+		return 0
+	}
+	return int(cfg.ShedQueueFraction * float64(p.QueueCap))
+}
+
 // shedReason decides whether a write request should be refused under
 // the current backpressure signals; "" admits. Pure function of its
 // inputs so the thresholds are unit-testable.
@@ -200,18 +292,26 @@ func (s *Server) handle(pattern string, class routeClass, h http.HandlerFunc) {
 
 		if class != opsRoute {
 			if s.limiter != nil && !s.limiter.allow(clientKey(r)) {
-				s.reject(w, em, rejectRate, http.StatusTooManyRequests,
+				s.reject(w, em, rejectRate, http.StatusTooManyRequests, minRetryAfterSec,
 					fmt.Errorf("rate limit exceeded"), start)
 				return
 			}
 			if s.cfg.MaxInFlight > 0 && n > int64(s.cfg.MaxInFlight) {
-				s.reject(w, em, rejectInFlight, http.StatusServiceUnavailable,
+				s.reject(w, em, rejectInFlight, http.StatusServiceUnavailable, minRetryAfterSec,
 					fmt.Errorf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight), start)
 				return
 			}
 			if class == writeRoute {
-				if reason := shedReason(s.pressure(), s.cfg); reason != "" {
-					s.reject(w, em, reason, http.StatusServiceUnavailable,
+				p := s.pressure()
+				s.drain.observe(p.QueueDepth, start)
+				if reason := shedReason(p, s.cfg); reason != "" {
+					// Queue sheds get the drain-rate hint; fold-lag sheds
+					// reuse it when the queue is also backed up (the common
+					// correlated case) and fall back to the 1s floor when
+					// only the fold is behind — the queue estimator knows
+					// nothing about fold progress.
+					retry := s.drain.retryAfter(p.QueueDepth, shedTarget(p, s.cfg))
+					s.reject(w, em, reason, http.StatusServiceUnavailable, retry,
 						fmt.Errorf("overloaded (%s): retry later", reason), start)
 					return
 				}
@@ -226,10 +326,11 @@ func (s *Server) handle(pattern string, class routeClass, h http.HandlerFunc) {
 
 // reject refuses a request with the admission-control envelope: the
 // refusal is counted per reason, classified like any other response,
-// and carries Retry-After so well-behaved clients back off.
-func (s *Server) reject(w http.ResponseWriter, em *endpointMetrics, reason string, code int, err error, start time.Time) {
+// and carries Retry-After so well-behaved clients back off —
+// drain-rate-derived for pressure sheds, the 1s floor otherwise.
+func (s *Server) reject(w http.ResponseWriter, em *endpointMetrics, reason string, code, retryAfterSec int, err error, start time.Time) {
 	em.rejected[reason].Add(1)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
 	writeErr(w, code, err)
 	em.observe(code, s.cfg.Now().Sub(start))
 }

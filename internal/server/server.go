@@ -62,6 +62,10 @@ type Server struct {
 	// pressure supplies the backpressure signals consulted before write
 	// endpoints run; indirect so shed tests can inject a synthetic load.
 	pressure func() core.Pressure
+	// drain estimates the event queue's drain rate from the pressure
+	// samples the write path takes anyway, feeding the adaptive
+	// Retry-After hint on shed responses.
+	drain drainEstimator
 }
 
 // New builds the handler set over an engine with default middleware
