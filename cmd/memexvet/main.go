@@ -1,5 +1,6 @@
 // Command memexvet runs the repo's invariant analyzers (pinleak, lockiter,
-// detmap, epochbatch — see internal/analysis) over Go packages.
+// detmap, epochbatch, atomicmix, replyorder, detsched, viewescape — see
+// internal/analysis) over Go packages.
 //
 // Standalone, as CI runs it:
 //
@@ -7,6 +8,11 @@
 //
 // Diagnostics print one per line to stderr; the exit status is 2 if any
 // finding survives suppression, 1 on internal error, 0 on a clean tree.
+// Two output flags reshape findings for machines:
+//
+//	-json     emit the findings as a JSON array on stdout
+//	-github   emit GitHub Actions workflow commands (::error file=…) on
+//	          stdout so findings annotate the PR diff inline
 //
 // The binary also speaks enough of cmd/vet's unitchecker protocol to be
 // used as `go vet -vettool=$(which memexvet) ./...`, which additionally
@@ -15,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/importer"
 	"go/token"
@@ -49,7 +56,11 @@ func main() {
 		os.Exit(unitcheck(args[0]))
 	}
 
-	patterns := args
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	githubOut := flag.Bool("github", false, "emit GitHub Actions ::error annotations on stdout")
+	flag.Parse()
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -59,6 +70,7 @@ func main() {
 		os.Exit(1)
 	}
 	exit := 0
+	var all []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(os.Stderr, "memexvet: %s: type error: %v\n", pkg.ImportPath, terr)
@@ -72,12 +84,72 @@ func main() {
 		}
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
+			all = append(all, d)
 			if exit == 0 {
 				exit = 2
 			}
 		}
 	}
+	if *jsonOut {
+		emitJSON(os.Stdout, all)
+	}
+	if *githubOut {
+		emitGitHub(os.Stdout, all)
+	}
 	os.Exit(exit)
+}
+
+// jsonDiag is the stable machine-readable finding shape for -json.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// emitJSON writes every finding as one JSON array (always an array, even
+// when empty, so consumers need no null handling).
+func emitJSON(w io.Writer, diags []analysis.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     relPath(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// emitGitHub writes one workflow command per finding so the Actions
+// runner renders it inline on the PR diff. Messages are escaped per the
+// workflow-command rules (%, CR, LF have %-encodings).
+func emitGitHub(w io.Writer, diags []analysis.Diagnostic) {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	for _, d := range diags {
+		fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=memexvet(%s)::%s\n",
+			relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, esc.Replace(d.Message))
+	}
+}
+
+// relPath rewrites an absolute diagnostic path relative to the working
+// directory — the form GitHub annotations and editors want — falling back
+// to the original when the file lies elsewhere.
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	rel, err := filepath.Rel(wd, p)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return p
+	}
+	return rel
 }
 
 // vetConfig is the subset of cmd/go's vet configuration file we consume.

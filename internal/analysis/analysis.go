@@ -62,9 +62,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// All returns the full memexvet suite in stable order.
+// All returns the full memexvet suite in stable order: the four original
+// AST-level checkers, then the CFG/dataflow generation.
 func All() []*Analyzer {
-	return []*Analyzer{PinLeak, LockIter, DetMap, EpochBatch}
+	return []*Analyzer{PinLeak, LockIter, DetMap, EpochBatch, AtomicMix, ReplyOrder, DetSched, ViewEscape}
 }
 
 // metaName is the pseudo-analyzer that owns diagnostics about the

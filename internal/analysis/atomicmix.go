@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix enforces all-or-nothing atomicity on struct fields: a field
+// that is accessed through sync/atomic functions (atomic.AddUint64,
+// atomic.LoadInt64, …) anywhere in the package must never be read or
+// written plainly anywhere else. Mixed access is a silent torn-read bug:
+// the plain read compiles to an ordinary load that can observe a half
+// of a concurrent atomic update (or be hoisted out of a loop entirely),
+// and the race detector only reports it if a run actually interleaves —
+// the exact class the internal/server metrics counters are built to
+// avoid, and the reason they use the typed atomic.Uint64 wrappers, which
+// make plain access a compile error instead of a latent race.
+//
+// The typed sync/atomic wrapper types need no analyzer; this one exists
+// for the legacy function-based API, where nothing stops `s.n++` next to
+// `atomic.AddUint64(&s.n, 1)`.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "check that a struct field accessed via sync/atomic functions is never " +
+		"read or written plainly elsewhere (use the typed atomic wrappers)",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: collect every field object that appears as &x.f in a
+	// sync/atomic function call, with one representative position.
+	atomicFields := map[types.Object]ast.Node{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fld := addrOfField(pass.TypesInfo, arg); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector resolving to one of those fields is a
+	// plain access unless it sits inside a sync/atomic call's argument
+	// (the &x.f of the atomic op itself).
+	type finding struct {
+		sel *ast.SelectorExpr
+		fld types.Object
+	}
+	var finds []finding
+	for _, f := range pass.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := selectedField(pass.TypesInfo, sel)
+			if fld == nil {
+				return true
+			}
+			if _, tracked := atomicFields[fld]; !tracked {
+				return true
+			}
+			if underAtomicCall(pass.TypesInfo, stack) {
+				return true
+			}
+			finds = append(finds, finding{sel, fld})
+			return true
+		})
+	}
+
+	// Deterministic order regardless of file walk interleavings.
+	sort.Slice(finds, func(i, j int) bool { return finds[i].sel.Pos() < finds[j].sel.Pos() })
+	for _, fd := range finds {
+		atPos := pass.Fset.Position(atomicFields[fd.fld].Pos())
+		pass.Reportf(fd.sel.Pos(),
+			"plain access to %s.%s, which is updated via sync/atomic at %s:%d: mixed access tears reads; use atomic ops (or the typed atomic wrappers) everywhere",
+			fieldOwnerName(fd.fld), fd.fld.Name(), atPos.Filename, atPos.Line)
+	}
+	return nil
+}
+
+// isAtomicFuncCall reports whether call invokes a package-level function
+// of sync/atomic (not a method of the typed wrappers).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := usedObject(info, sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Wrapper methods (atomic.Uint64.Add, …) have a receiver; the legacy
+	// functions do not.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addrOfField unpacks &x.f (possibly parenthesized) to the field object.
+func addrOfField(info *types.Info, arg ast.Expr) types.Object {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "&" {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(info, sel)
+}
+
+// selectedField resolves sel to a struct field object, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s := info.Selections[sel]; s != nil {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := usedObject(info, sel.Sel).(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// underAtomicCall reports whether the node whose ancestor stack is given
+// sits inside the arguments of a sync/atomic function call.
+func underAtomicCall(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isAtomicFuncCall(info, call) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOwnerName names the struct type declaring the field, best-effort,
+// for the diagnostic.
+func fieldOwnerName(fld types.Object) string {
+	if pkg := fld.Pkg(); pkg != nil {
+		// Field objects do not point back at their struct; search the
+		// package scope for a named type that declares this field.
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == fld {
+					return tn.Name()
+				}
+			}
+		}
+	}
+	return "struct"
+}

@@ -1,0 +1,433 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Intra-procedural control-flow graph construction. The first generation
+// of analyzers walked statement lists directly, which made "released on
+// all paths" and "committed before this write" questions approximate at
+// best: a release inside both arms of an if, a loop that re-acquires, an
+// early return threaded through a switch all demand real path knowledge.
+// buildCFG turns one function body into basic blocks and successor edges;
+// dataflow.go runs fixpoint analyses over the result.
+//
+// The construction mirrors the shape of golang.org/x/tools/go/cfg but is
+// stdlib-only like the rest of the package. Function literals are *not*
+// inlined: a closure is its own function with its own CFG (its returns
+// exit the closure, its defers run at the closure's exit), so analyzers
+// build one CFG per FuncDecl and per FuncLit.
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block. A block with no successors ends the function: either its
+// last node is a ReturnStmt, or control falls off the end of the body.
+type CFG struct {
+	Blocks []*Block
+
+	// Defers lists every defer statement in the body, in syntactic
+	// order, including those inside branches. Deferred calls run at
+	// function exit, not at their syntactic position, so they are kept
+	// out of the block node lists; path-sensitive analyses decide how to
+	// interpret a conditional defer.
+	Defers []*ast.DeferStmt
+}
+
+// A Block is one straight-line run of nodes. Nodes holds statements and
+// the control expressions of the branch that ends the block (an if/for
+// condition, a switch tag), in execution order. Compound statements are
+// never stored whole: their bodies live in other blocks, so a node's
+// subtree can be walked without double-visiting nested statements —
+// except function literals, which analyses skip or recurse into
+// deliberately.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// kind labels the block's origin for debug dumps and tests.
+	kind string
+}
+
+// Return returns the ReturnStmt ending the block, or nil.
+func (b *Block) Return() *ast.ReturnStmt {
+	if len(b.Nodes) == 0 {
+		return nil
+	}
+	ret, _ := b.Nodes[len(b.Nodes)-1].(*ast.ReturnStmt)
+	return ret
+}
+
+// builder carries the under-construction graph.
+type builder struct {
+	cfg *CFG
+	cur *Block
+
+	// breakTo / continueTo are the innermost targets for unlabeled
+	// break/continue; labels maps a label name to its targets.
+	breakTo    *Block
+	continueTo *Block
+	labels     map[string]*labelTargets
+
+	// gotos are resolved after the walk: the jump block and label name.
+	gotos []pendingGoto
+	// labelBlocks maps a label to the block its statement starts.
+	labelBlocks map[string]*Block
+
+	// pendingLbl is set by the LabeledStmt case just before it descends,
+	// so the loop or switch being labeled can register `break L` /
+	// `continue L` targets under its own label.
+	pendingLbl string
+}
+
+type labelTargets struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// buildCFG constructs the control-flow graph of a function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:         &CFG{},
+		labels:      map[string]*labelTargets{},
+		labelBlocks: map[string]*Block{},
+	}
+	b.cur = b.newBlock("entry")
+	b.stmtList(body.List)
+	for _, g := range b.gotos {
+		if target, ok := b.labelBlocks[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	return b.cfg
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block. After a terminator (return,
+// break, …) b.cur is nil; a following statement is unreachable and gets
+// a fresh, predecessor-less block, matching go/cfg's behavior.
+func (b *builder) add(n ast.Node) {
+	b.pendingLbl = "" // a label on a plain statement only matters to goto
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock("if.after")
+
+		thenBlk := b.newBlock("if.then")
+		b.edge(cond, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+
+		if s.Else != nil {
+			elseBlk := b.newBlock("if.else")
+			b.edge(cond, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock("for.after")
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		// `for { … }` with no condition only exits via break/return.
+
+		bodyBlk := b.newBlock("for.body")
+		b.edge(head, bodyBlk)
+
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.pushLoop(label, after, post, func() {
+			b.cur = bodyBlk
+			b.stmtList(s.Body.List)
+			b.edge(b.cur, post)
+		})
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.edge(post, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock("range.head")
+		b.edge(b.cur, head)
+		after := b.newBlock("range.after")
+		b.edge(head, after)
+		bodyBlk := b.newBlock("range.body")
+		b.edge(head, bodyBlk)
+		b.pushLoop(label, after, head, func() {
+			b.cur = bodyBlk
+			b.stmtList(s.Body.List)
+			b.edge(b.cur, head)
+		})
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchLike(s, s.Init, s.Tag, s.Body, b.takeLabel())
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s, s.Init, nil, s.Body, b.takeLabel())
+
+	case *ast.SelectStmt:
+		b.takeLabel()
+		sel := b.cur
+		if sel == nil {
+			sel = b.newBlock("unreachable")
+			b.cur = sel
+		}
+		after := b.newBlock("select.after")
+		prevBreak := b.breakTo
+		b.breakTo = after
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(sel, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, after)
+		}
+		b.breakTo = prevBreak
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			b.add(s)
+			b.edge(b.cur, b.branchTarget(s, true))
+			b.cur = nil
+		case token.CONTINUE:
+			b.add(s)
+			b.edge(b.cur, b.branchTarget(s, false))
+			b.cur = nil
+		case token.GOTO:
+			b.add(s)
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// switchLike wires fallthrough edges; nothing to do here.
+			b.add(s)
+		}
+
+	case *ast.LabeledStmt:
+		blk := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, blk)
+		b.cur = blk
+		b.labelBlocks[s.Label.Name] = blk
+		b.pendingLbl = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.GoStmt:
+		// The spawned goroutine runs elsewhere; the statement itself is a
+		// node so analyses can see the spawn site.
+		b.add(s)
+
+	default:
+		// Assignments, declarations, expression statements, sends,
+		// inc/dec, empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchLike builds switch and type-switch graphs: every case is a
+// successor of the dispatch block; a missing default adds a direct edge
+// to the after block; fallthrough chains case bodies.
+func (b *builder) switchLike(s ast.Stmt, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if ts, ok := s.(*ast.TypeSwitchStmt); ok && ts.Assign != nil {
+		b.add(ts.Assign)
+	}
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock("unreachable")
+		b.cur = dispatch
+	}
+	after := b.newBlock("switch.after")
+
+	prevBreak := b.breakTo
+	b.breakTo = after
+	if label != "" {
+		b.labels[label] = &labelTargets{breakTo: after}
+	}
+
+	type caseBlk struct {
+		blk  *Block
+		body []ast.Stmt
+	}
+	var cases []caseBlk
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("switch.case")
+		b.edge(dispatch, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		cases = append(cases, caseBlk{blk, cc.Body})
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	for i, c := range cases {
+		b.cur = c.blk
+		b.stmtList(c.body)
+		// fallthrough, if present, is the last statement of the body.
+		if n := len(c.body); n > 0 {
+			if br, ok := c.body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(cases) {
+				b.edge(b.cur, cases[i+1].blk)
+				b.cur = nil
+			}
+		}
+		b.edge(b.cur, after)
+	}
+	b.breakTo = prevBreak
+	b.cur = after
+}
+
+// pushLoop runs fn with break/continue targets installed (both the
+// unlabeled slots and, when the loop is labeled, the label's slots).
+func (b *builder) pushLoop(label string, breakTo, continueTo *Block, fn func()) {
+	prevBreak, prevCont := b.breakTo, b.continueTo
+	b.breakTo, b.continueTo = breakTo, continueTo
+	if label != "" {
+		b.labels[label] = &labelTargets{breakTo: breakTo, continueTo: continueTo}
+	}
+	fn()
+	b.breakTo, b.continueTo = prevBreak, prevCont
+}
+
+// branchTarget resolves a break/continue to its destination block.
+func (b *builder) branchTarget(s *ast.BranchStmt, isBreak bool) *Block {
+	if s.Label != nil {
+		if lt := b.labels[s.Label.Name]; lt != nil {
+			if isBreak {
+				return lt.breakTo
+			}
+			return lt.continueTo
+		}
+	}
+	if isBreak {
+		return b.breakTo
+	}
+	return b.continueTo
+}
+
+// takeLabel consumes the label installed by an enclosing LabeledStmt
+// (empty when the statement is unlabeled). Every control statement must
+// consume it so a label never leaks onto an inner statement.
+func (b *builder) takeLabel() string {
+	l := b.pendingLbl
+	b.pendingLbl = ""
+	return l
+}
+
+// exits returns the blocks that leave the function: explicit returns and
+// fall-off-the-end blocks (no successors). Unreachable blocks with no
+// predecessors and no nodes are skipped.
+func (c *CFG) exits() []*Block {
+	var out []*Block
+	for _, blk := range c.Blocks {
+		if len(blk.Succs) == 0 {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// String renders the graph for tests and debugging: one line per block
+// with its kind, node count and successor indices.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		succs := make([]int, 0, len(blk.Succs))
+		for _, s := range blk.Succs {
+			succs = append(succs, s.Index)
+		}
+		sort.Ints(succs)
+		fmt.Fprintf(&sb, "b%d(%s) nodes=%d -> %v\n", blk.Index, blk.kind, len(blk.Nodes), succs)
+	}
+	return sb.String()
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import "go/ast"
+
+// Forward iterative dataflow over a CFG. The framework is deliberately
+// small: facts are integer abstract values keyed by an arbitrary
+// comparable identity (in practice a types.Object — a pinned variable, a
+// ResponseWriter parameter), blocks transfer facts node by node, and
+// join folds predecessor outputs. May-analyses join with max (any path
+// reaching a state keeps it), must-analyses with min (every path has to
+// agree); absence of a key means "bottom / nothing known yet".
+//
+// The fixpoint is the standard optimistic worklist: only predecessors
+// that have produced an output participate in a join, so unreachable
+// blocks never contribute and must-analyses are not poisoned by
+// uninitialized paths.
+
+// facts maps an analysis key to its abstract value. The zero value of
+// the map (nil) carries no facts.
+type facts map[any]int
+
+func (f facts) clone() facts {
+	cp := make(facts, len(f))
+	for k, v := range f {
+		cp[k] = v
+	}
+	return cp
+}
+
+// flowProblem configures one forward analysis.
+type flowProblem struct {
+	// entry seeds the entry block's input facts (may be nil).
+	entry facts
+	// join combines two values for the same key at a merge point.
+	join func(a, b int) int
+	// transfer applies one block node to the fact set in place.
+	transfer func(n ast.Node, f facts)
+}
+
+// flowResult holds the fixpoint: facts at block entry and exit.
+type flowResult struct {
+	in  map[*Block]facts
+	out map[*Block]facts
+}
+
+// run iterates prob to a fixpoint over cfg.
+func run(cfg *CFG, prob flowProblem) *flowResult {
+	res := &flowResult{
+		in:  make(map[*Block]facts, len(cfg.Blocks)),
+		out: make(map[*Block]facts, len(cfg.Blocks)),
+	}
+	if len(cfg.Blocks) == 0 {
+		return res
+	}
+
+	preds := make(map[*Block][]*Block, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], blk)
+		}
+	}
+
+	// Worklist seeded with the entry block only; unreachable blocks are
+	// processed if and when an edge delivers facts to them (never, by
+	// construction).
+	work := []*Block{cfg.Blocks[0]}
+	queued := map[*Block]bool{cfg.Blocks[0]: true}
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		var in facts
+		if blk == cfg.Blocks[0] {
+			in = prob.entry.clone()
+		} else {
+			for _, p := range preds[blk] {
+				pOut, ok := res.out[p]
+				if !ok {
+					continue
+				}
+				if in == nil {
+					in = pOut.clone()
+					continue
+				}
+				in = joinFacts(in, pOut, prob.join)
+			}
+			if in == nil {
+				in = facts{}
+			}
+		}
+		res.in[blk] = in
+
+		out := in.clone()
+		for _, n := range blk.Nodes {
+			prob.transfer(n, out)
+		}
+
+		if factsEqual(res.out[blk], out) {
+			continue
+		}
+		res.out[blk] = out
+		for _, s := range blk.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return res
+}
+
+// joinFacts merges b into a with join, key-wise. A key present on one
+// side only joins against the implicit bottom 0.
+func joinFacts(a, b facts, join func(x, y int) int) facts {
+	for k, bv := range b {
+		a[k] = join(a[k], bv)
+	}
+	for k, av := range a {
+		if _, ok := b[k]; !ok {
+			a[k] = join(av, 0)
+		}
+	}
+	return a
+}
+
+func factsEqual(a, b facts) bool {
+	if a == nil {
+		return false // never computed yet
+	}
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// joinMax is the may-analysis join: the highest (worst) state on any
+// path survives the merge.
+func joinMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// joinMin is the must-analysis join: a state holds after a merge only
+// if every path established it.
+func joinMin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// visitWithFacts replays a solved problem block by block, calling visit
+// with the facts in force immediately before each node executes — the
+// per-node granularity analyzers need to report "state X already holds
+// here". Unreachable blocks (no computed input) are skipped.
+func visitWithFacts(cfg *CFG, res *flowResult, prob flowProblem, visit func(n ast.Node, before facts)) {
+	for _, blk := range cfg.Blocks {
+		in, ok := res.in[blk]
+		if !ok {
+			continue
+		}
+		f := in.clone()
+		for _, n := range blk.Nodes {
+			visit(n, f)
+			prob.transfer(n, f)
+		}
+	}
+}
+
+// walkNode visits n's subtree like ast.Inspect but does not descend into
+// function literals: a closure's statements execute when the closure is
+// called, not at its syntactic position, so transfer functions must not
+// interpret them as happening inline.
+func walkNode(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			// ast.Inspect's pop event; never forwarded, so callbacks can
+			// hand m to another walker without a nil check.
+			return true
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// funcBodies yields every function body in the file — declarations and
+// literals — paired with its body, so analyzers build one CFG per
+// function uniformly.
+func funcBodies(f *ast.File, visit func(body *ast.BlockStmt, fn *ast.FuncDecl)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Body, fn)
+			}
+		case *ast.FuncLit:
+			visit(fn.Body, nil)
+		}
+		return true
+	})
+}

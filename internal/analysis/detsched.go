@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetSched enforces the load harness's schedule-determinism contract:
+// Schedule(seed) must be a pure function of (scenario, seed), so the same
+// pair replays byte-identically on any host — the property the CI gate
+// checks by diffing `memexload -print-schedule` twice, and the workload
+// premise of the robots-vs-humans traffic model. Three impurity sources
+// are flagged in schedule-path code (functions whose name contains
+// "Schedule", plus every method of a Scenario receiver):
+//
+//   - wall-clock reads (time.Now/Since/Until);
+//   - draws from the global math/rand source, which is shared,
+//     lock-protected and seeded per process — per-client generators must
+//     come from rand.New(rand.NewSource(derivedSeed));
+//   - map iteration reaching the schedule's output, directly or through
+//     an unsorted collected slice (the detmap rule, applied to schedule
+//     emission rather than codecs).
+var DetSched = &Analyzer{
+	Name: "detsched",
+	Doc: "check that schedule-path code (Schedule* functions, Scenario methods) stays " +
+		"a pure function of (scenario, seed): no wall clock, no global math/rand, " +
+		"no map-iteration-ordered output",
+	Run: runDetSched,
+}
+
+func runDetSched(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !schedulePath(fn) {
+				continue
+			}
+			checkSchedulePurity(pass, fn)
+		}
+	}
+	return nil
+}
+
+// schedulePath decides whether fn is schedule code: its name mentions
+// Schedule, or it is a method on a Scenario.
+func schedulePath(fn *ast.FuncDecl) bool {
+	if strings.Contains(fn.Name.Name, "Schedule") {
+		return true
+	}
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Scenario"
+}
+
+func checkSchedulePurity(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.TypesInfo, n)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			sig, _ := callee.Type().(*types.Signature)
+			pkgLevel := sig != nil && sig.Recv() == nil
+			switch callee.Pkg().Path() {
+			case "time":
+				if pkgLevel && (callee.Name() == "Now" || callee.Name() == "Since" || callee.Name() == "Until") {
+					pass.Reportf(n.Pos(),
+						"%s calls time.%s: a schedule must be a pure function of (scenario, seed), not the wall clock",
+						fn.Name.Name, callee.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Constructors (New, NewSource, NewZipf, …) build the
+				// seeded per-client generators and are the sanctioned
+				// pattern; every other package-level call draws from (or
+				// reseeds) the shared global source.
+				if pkgLevel && !strings.HasPrefix(callee.Name(), "New") {
+					pass.Reportf(n.Pos(),
+						"%s draws from the global math/rand source via rand.%s: derive a local generator with rand.New(rand.NewSource(seed)) so the schedule replays byte-identically",
+						fn.Name.Name, callee.Name())
+				}
+			}
+
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if writesOutput(pass.TypesInfo, n.Body) {
+				pass.Reportf(n.Pos(),
+					"%s iterates a map while emitting schedule output: iteration order varies per process; collect the keys, sort them, then emit",
+					fn.Name.Name)
+				return true
+			}
+			for _, obj := range collectedSlices(pass.TypesInfo, n.Body) {
+				if !sortedInFunc(pass.TypesInfo, fn.Body, obj) {
+					pass.Reportf(n.Pos(),
+						"%s collects map keys into %s but never sorts it: the schedule inherits map iteration order",
+						fn.Name.Name, obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}

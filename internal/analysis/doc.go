@@ -54,6 +54,63 @@
 //	derived records for one page split across two batches in a
 //	function, and staging into a batch after its Publish/Abort.
 //
+// atomicmix — a field updated via sync/atomic is never accessed plainly.
+//
+//	PR 8's first metrics draft bumped per-endpoint counters with plain
+//	`m.requests++` on the hot path while the scrape path read them with
+//	atomic.LoadUint64: the increment is a read-modify-write race and the
+//	mixed access tears on 32-bit or under the race detector. The
+//	analyzer records every field whose address reaches a sync/atomic
+//	package-level function (`atomic.AddUint64(&m.requests, 1)`) and
+//	flags any other access to that field that is not itself under an
+//	atomic call. The sanctioned shape is all-atomic access — or better,
+//	the typed atomic.Uint64/Int64 wrappers internal/server now uses,
+//	which make plain access unrepresentable and which this analyzer
+//	therefore never flags.
+//
+// replyorder — HTTP replies commit once, buffered, and shed politely.
+//
+//	Three shipped bug shapes, one ordering contract. (1) handleExport
+//	streamed the bookmark tree straight into the ResponseWriter; the
+//	first byte committed a 200, so a mid-walk failure truncated the
+//	body under a success status. Flagged: passing the writer to a
+//	fallible producer (a callee that both takes w and returns error) —
+//	render to a buffer, check, then write. The fmt.Fprint*/io.WriteString
+//	families are exempt: streaming infallible formatting is the
+//	/metrics idiom, not the bug. (2) WriteHeader or a Header() mutation
+//	on a path where the response is already committed (the
+//	missing-return fallthrough); headers set after the first write are
+//	silently dropped. (3) A 429/503 rejection without Retry-After on
+//	some path (must-analysis: every path has to set it, or call an
+//	intra-package helper that does) — PR 8's bare 503 made a shed robot
+//	fleet retry in lockstep one RTT later.
+//
+// detsched — a load schedule is a pure function of (scenario, seed).
+//
+//	The synthetic harness's whole contract is replayability: same
+//	scenario, same seed, byte-identical schedule (CI diffs two
+//	expansions on every run). In schedule-path code — methods on
+//	Scenario and functions whose name contains "Schedule" — the
+//	analyzer flags time.Now/Since/Until (wall-clock leak), draws from
+//	the global math/rand source (process-seeded state; rand.New,
+//	rand.NewSource, rand.NewZipf constructors and method draws on a
+//	local generator are the sanctioned pattern), and map iteration that
+//	reaches the emitted schedule without a sort in between.
+//
+// viewescape — a pinned view's reference never outlives its pin.
+//
+//	pinleak proves every Acquire has a Release; viewescape proves the
+//	Release is not a lie. Storing a pinned Snapshot/DerivedView into a
+//	struct field, global, channel, or goroutine and then releasing it
+//	on the same path leaves the consumer a reference whose epoch GC is
+//	now free to fold away — reads go stale or the record vanishes
+//	mid-use. Flagged: an escape followed by Release on one path, a
+//	Release followed by an escape (handing out a dead view), and any
+//	escape when the Release is deferred. The sanctioned shape is
+//	ownership transfer: the goroutine or branch that keeps the
+//	reference becomes responsible for the Release and the original path
+//	never calls it (escape and Release on disjoint paths is clean).
+//
 // # Suppressions
 //
 // A finding that is a true exception — audited, with a reason — is
@@ -64,7 +121,8 @@
 // written either as a trailing comment on the flagged line or as a
 // standalone comment on the line immediately above it; each directive
 // governs exactly one line. The analyzer name must be one of pinleak,
-// lockiter, detmap, epochbatch; the reason is mandatory. Suppressions are
+// lockiter, detmap, epochbatch, atomicmix, replyorder, detsched,
+// viewescape; the reason is mandatory. Suppressions are
 // themselves checked: a malformed directive (unknown analyzer, missing
 // reason) and a stale one (its line no longer triggers the named
 // analyzer) are both errors, so dead suppressions cannot accumulate and
@@ -73,7 +131,8 @@
 // # Running it
 //
 // Standalone (what CI runs; analyzes non-test sources of the named
-// packages):
+// packages; -json emits findings as a JSON array, -github as GitHub
+// Actions ::error annotations):
 //
 //	go run ./cmd/memexvet ./...
 //
@@ -87,6 +146,9 @@
 // analysistest-style golden tests) but is built on the standard library
 // only — this module is dependency-free by policy — loading type
 // information from the build cache's export data via `go list -export`.
+// Path-sensitive analyzers (pinleak, replyorder, viewescape) share an
+// intra-procedural CFG builder (cfg.go) and a forward iterative dataflow
+// framework (dataflow.go) that likewise mirror x/tools/go/cfg in shape.
 // If the repo ever takes on x/tools, each Analyzer.Run ports across
 // nearly verbatim.
 package analysis

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -11,6 +12,13 @@ import (
 // on all paths. A leaked pin silently freezes the GC fold floor: layers
 // behind the pinned epoch can never be compacted or folded to the cold
 // tier for the life of the process.
+//
+// Acquisition sites are classified syntactically (discarded result,
+// chained call, blank assignment, ownership escape); the "released on all
+// paths" question itself runs as a forward may-analysis over the
+// function's CFG, so branch-structured releases, loops that re-acquire,
+// and early returns are all answered by path reachability instead of the
+// old single-statement-list approximation.
 var PinLeak = &Analyzer{
 	Name: "pinleak",
 	Doc: "check that every Acquire/DerivedSnapshot pin is released on all paths " +
@@ -23,6 +31,14 @@ var acquireMethods = map[string]bool{
 	"Acquire":         true,
 	"DerivedSnapshot": true,
 }
+
+// Pin states for the dataflow. Higher is worse: a merge point keeps the
+// pinned state if any incoming path still holds the pin.
+const (
+	pinBottom   = 0 // not acquired on this path
+	pinReleased = 1 // released, or ownership handed off
+	pinPinned   = 2 // held and unreleased
+)
 
 func runPinLeak(pass *Pass) error {
 	for _, f := range pass.Files {
@@ -80,7 +96,7 @@ func checkAcquisition(pass *Pass, name string, call *ast.CallExpr, stack []ast.N
 			pass.Reportf(call.Pos(), "result of %s() is assigned to _: the pin is never released", name)
 			return
 		}
-		checkPinnedVar(pass, name, call, id, stack)
+		checkPinnedVar(pass, call, id, stack)
 
 	default:
 		// Return value, composite literal, call argument, channel send…
@@ -89,8 +105,9 @@ func checkAcquisition(pass *Pass, name string, call *ast.CallExpr, stack []ast.N
 }
 
 // checkPinnedVar verifies that the variable holding a pin is released on
-// all paths within its enclosing function.
-func checkPinnedVar(pass *Pass, name string, call *ast.CallExpr, id *ast.Ident, stack []ast.Node) {
+// all paths within its enclosing function, by running the pin dataflow
+// over the function's CFG.
+func checkPinnedVar(pass *Pass, call *ast.CallExpr, id *ast.Ident, stack []ast.Node) {
 	obj := usedObject(pass.TypesInfo, id)
 	if obj == nil {
 		return
@@ -100,51 +117,77 @@ func checkPinnedVar(pass *Pass, name string, call *ast.CallExpr, id *ast.Ident, 
 		return
 	}
 
+	// Deferred releases cover every path by construction, and an
+	// escaping use (returned, passed on, stored away) transfers
+	// ownership: both end the analysis before any path question arises.
 	if deferReleases(pass.TypesInfo, body, obj) || escapes(pass.TypesInfo, body, obj, id) {
 		return
 	}
 
-	// No defer and no escape: demand a dominating explicit Release in the
-	// acquisition's own statement list.
-	list, idx, _ := enclosingStmtList(stack)
-	relIdx := -1
-	for j := idx + 1; j < len(list); j++ {
-		if isReleaseStmt(pass.TypesInfo, list[j], obj) {
-			relIdx = j
-			break
-		}
-	}
+	cfg := buildCFG(body)
+	res := run(cfg, flowProblem{
+		join: joinMax,
+		transfer: func(n ast.Node, f facts) {
+			// Order matters inside one node: `snap := s.Acquire()` both
+			// mentions the call and (re)binds the variable — acquisition
+			// wins. A node that releases after acquiring in the same
+			// statement does not exist in practice (Release returns
+			// nothing), so release is checked first, acquisition last.
+			if nodeReleases(pass.TypesInfo, n, obj) {
+				f[obj] = pinReleased
+			}
+			if nodeAcquires(n, call) {
+				f[obj] = pinPinned
+			}
+		},
+	})
 
-	if relIdx < 0 {
-		// Tolerate branch-structured releases (an explicit Release on
-		// every path of an if/switch) rather than reproducing a dominator
-		// analysis: any non-deferred Release in the function counts.
-		if anyRelease(pass.TypesInfo, body, obj) {
-			return
+	releasePos := anyReleasePos(pass.TypesInfo, body, obj)
+	for _, exit := range cfg.exits() {
+		out := res.out[exit]
+		if out == nil || out[obj] != pinPinned {
+			continue
 		}
-		pass.Reportf(call.Pos(), "%s pins a snapshot here but is never released; add defer %s.Release()", id.Name, id.Name)
-		return
-	}
-
-	// Release found downstream in the same list: a return between the
-	// acquisition and the Release leaks the pin on that path (unless that
-	// branch released first itself).
-	for j := idx + 1; j < relIdx; j++ {
-		if ret := leakingReturn(pass.TypesInfo, list[j], obj); ret != nil {
+		if releasePos == token.NoPos {
+			pass.Reportf(call.Pos(), "%s pins a snapshot here but is never released; add defer %s.Release()", id.Name, id.Name)
+		} else if ret := exit.Return(); ret != nil {
 			pass.Reportf(call.Pos(), "%s is released at line %d, but the return at line %d leaks the pin; use defer %s.Release()",
-				id.Name, pass.Fset.Position(list[relIdx].Pos()).Line, pass.Fset.Position(ret.Pos()).Line, id.Name)
-			return
+				id.Name, pass.Fset.Position(releasePos).Line, pass.Fset.Position(ret.Pos()).Line, id.Name)
+		} else {
+			pass.Reportf(call.Pos(), "%s is released at line %d, but a path reaching the end of the function leaks the pin; use defer %s.Release()",
+				id.Name, pass.Fset.Position(releasePos).Line, id.Name)
 		}
+		return // one report per acquisition
 	}
 }
 
-// isReleaseStmt reports whether stmt is exactly `obj.Release()`.
-func isReleaseStmt(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
-	es, ok := stmt.(*ast.ExprStmt)
-	if !ok {
-		return false
-	}
-	return isReleaseCall(info, es.X, obj)
+// nodeAcquires reports whether n is (or contains, outside closures) the
+// acquisition call being checked.
+func nodeAcquires(n ast.Node, call *ast.CallExpr) bool {
+	found := false
+	walkNode(n, func(m ast.Node) bool {
+		if m == call {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeReleases reports whether executing n runs obj.Release(). Closure
+// bodies are included: a helper like walk(func(){ … v.Release() … })
+// invoked inline releases just as surely as a direct call, and the old
+// syntactic checker accepted those shapes.
+func nodeReleases(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if isReleaseCall(info, m, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 func isReleaseCall(info *types.Info, n ast.Node, obj types.Object) bool {
@@ -154,6 +197,26 @@ func isReleaseCall(info *types.Info, n ast.Node, obj types.Object) bool {
 	}
 	id, isIdent := recv.(*ast.Ident)
 	return isIdent && usedObject(info, id) == obj
+}
+
+// anyReleasePos returns the position of the first non-deferred
+// obj.Release() call in the body, or NoPos.
+func anyReleasePos(info *types.Info, body *ast.BlockStmt, obj types.Object) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		if isReleaseCall(info, n, obj) {
+			pos = n.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
 }
 
 // deferReleases reports whether the function body defers obj.Release(),
@@ -176,19 +239,6 @@ func deferReleases(info *types.Info, body *ast.BlockStmt, obj types.Object) bool
 				}
 				return !found
 			})
-		}
-		return !found
-	})
-	return found
-}
-
-// anyRelease reports whether any non-deferred obj.Release() call exists in
-// the body.
-func anyRelease(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if isReleaseCall(info, n, obj) {
-			found = true
 		}
 		return !found
 	})
@@ -238,42 +288,4 @@ func escapes(info *types.Info, body *ast.BlockStmt, obj types.Object, def *ast.I
 		return true
 	})
 	return esc
-}
-
-// leakingReturn finds a return statement inside stmt that is not preceded,
-// in its own statement list, by an explicit obj.Release(). Function
-// literals are not descended into: their returns exit the closure, not
-// the function holding the pin.
-func leakingReturn(info *types.Info, stmt ast.Stmt, obj types.Object) *ast.ReturnStmt {
-	var leak *ast.ReturnStmt
-	if ret, ok := stmt.(*ast.ReturnStmt); ok {
-		return ret
-	}
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if _, isLit := n.(*ast.FuncLit); isLit {
-			return false
-		}
-		var list []ast.Stmt
-		switch b := n.(type) {
-		case *ast.BlockStmt:
-			list = b.List
-		case *ast.CaseClause:
-			list = b.Body
-		case *ast.CommClause:
-			list = b.Body
-		default:
-			return true
-		}
-		released := false
-		for _, s := range list {
-			if isReleaseStmt(info, s, obj) {
-				released = true
-			}
-			if ret, ok := s.(*ast.ReturnStmt); ok && !released && leak == nil {
-				leak = ret
-			}
-		}
-		return true
-	})
-	return leak
 }

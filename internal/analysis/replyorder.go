@@ -1,0 +1,412 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ReplyOrder enforces the server's HTTP reply discipline, three rules the
+// repo has shipped violations of:
+//
+//  1. Once a response is committed (WriteHeader, or a body write, which
+//     commits an implicit 200), calling WriteHeader again or mutating
+//     headers is a silent no-op — net/http logs "superfluous WriteHeader"
+//     and drops the mutation. On some path reaching such a call an error
+//     reply has usually fallen through a missing return.
+//  2. A handler must not stream a fallible producer straight into the
+//     ResponseWriter: the first byte commits a 200, and an error arriving
+//     mid-stream leaves the client a truncated body with a success status
+//     (the handleExport class). Render to a buffer, check the error, then
+//     write.
+//  3. Every 429/503 rejection must carry Retry-After, so shed clients
+//     back off instead of retrying in lockstep (the bare-503 class the
+//     slo CI job can only catch at runtime).
+//
+// Rules 1 and 3 are path questions and run on the CFG: rule 1 as a
+// forward may-analysis (committed on *some* path reaching the call), rule
+// 3 as a must-analysis (Retry-After set on *every* path reaching the
+// rejection).
+var ReplyOrder = &Analyzer{
+	Name: "replyorder",
+	Doc: "check HTTP handlers commit a response exactly once: no WriteHeader/header " +
+		"mutation after commit, no fallible call streaming into the ResponseWriter, " +
+		"and Retry-After on every 429/503 rejection",
+	Run: runReplyOrder,
+}
+
+// Response-commit states for the may-analysis.
+const (
+	rwUntouched = 0
+	rwCommitted = 1
+)
+
+// Retry-After states for the must-analysis.
+const (
+	raUnset = 0
+	raSet   = 1
+)
+
+func runReplyOrder(pass *Pass) error {
+	decls := funcDeclsByObj(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for _, w := range writerParams(pass.TypesInfo, ft) {
+				checkReplyOrder(pass, decls, body, w)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkReplyOrder runs the three rules for one ResponseWriter parameter.
+func checkReplyOrder(pass *Pass, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt, w types.Object) {
+	cfg := buildCFG(body)
+
+	commitProb := flowProblem{
+		join: joinMax,
+		transfer: func(n ast.Node, f facts) {
+			walkNode(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && commitsResponse(pass.TypesInfo, call, w) {
+					f[w] = rwCommitted
+				}
+				return true
+			})
+		},
+	}
+	retryProb := flowProblem{
+		join: joinMin,
+		transfer: func(n ast.Node, f facts) {
+			walkNode(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isRA, ok := headerMutation(pass.TypesInfo, call, w); ok && isRA {
+					f[w] = raSet
+				}
+				// A helper that sets Retry-After itself (the reject()
+				// shape) establishes the fact for the caller too.
+				if fn := calleeFunc(pass.TypesInfo, call); fn != nil &&
+					callPassesWriter(pass.TypesInfo, call, w) && calleeSetsRetryAfter(decls, fn) {
+					f[w] = raSet
+				}
+				return true
+			})
+		},
+	}
+	commitRes := run(cfg, commitProb)
+	retryRes := run(cfg, retryProb)
+
+	// Rule 1: no WriteHeader or header mutation once committed on a path.
+	visitWithFacts(cfg, commitRes, commitProb, func(n ast.Node, before facts) {
+		committed := before[w] == rwCommitted
+		walkNode(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if committed {
+				if name, ok := writerMethod(pass.TypesInfo, call, w); ok && name == "WriteHeader" {
+					pass.Reportf(call.Pos(),
+						"superfluous %s.WriteHeader: the response is already committed on a path reaching this call (did an error reply fall through a missing return?)",
+						w.Name())
+				}
+				if _, ok := headerMutation(pass.TypesInfo, call, w); ok {
+					pass.Reportf(call.Pos(),
+						"%s.Header() is mutated after the response is already committed on a path reaching this line; headers set after the first write are silently dropped",
+						w.Name())
+				}
+			}
+			// Rule 2 needs no facts: streaming a fallible producer into
+			// the writer is wrong wherever it happens.
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil &&
+				callPassesWriter(pass.TypesInfo, call, w) &&
+				returnsError(fn) && !printFamily(fn) {
+				pass.Reportf(call.Pos(),
+					"%s streams into %s and returns an error: a mid-stream failure truncates a committed 200; render to a buffer, check the error, then write",
+					fn.Name(), w.Name())
+			}
+			return true
+		})
+	})
+
+	// Rule 3: Retry-After must be set before any 429/503 commit.
+	visitWithFacts(cfg, retryRes, retryProb, func(n ast.Node, before facts) {
+		walkNode(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			code, isReject := rejectionSite(pass.TypesInfo, call, w)
+			if !isReject || before[w] == raSet {
+				return true
+			}
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil && calleeSetsRetryAfter(decls, fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%d rejection without Retry-After: set the header before committing the status so shed clients back off instead of retrying in lockstep",
+				code)
+			return true
+		})
+	})
+}
+
+// writerParams returns the parameter objects of ft whose type is an
+// http.ResponseWriter (by name, or any interface carrying WriteHeader —
+// which lets fixtures use a local stand-in without importing net/http).
+func writerParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isResponseWriter(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isResponseWriter(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter" {
+			return true
+		}
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	hasWH, hasHdr := false, false
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "WriteHeader":
+			hasWH = true
+		case "Header":
+			hasHdr = true
+		}
+	}
+	return hasWH && hasHdr
+}
+
+// writerMethod reports a direct method call on the writer object (w.Write,
+// w.WriteHeader, w.Header) and returns the method name.
+func writerMethod(info *types.Info, call *ast.CallExpr, w types.Object) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || usedObject(info, id) != w {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// headerMutation matches w.Header().Set/Add/Del(...) and reports whether
+// the mutated header is Retry-After.
+func headerMutation(info *types.Info, call *ast.CallExpr, w types.Object) (retryAfter, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return false, false
+	}
+	switch sel.Sel.Name {
+	case "Set", "Add", "Del":
+	default:
+		return false, false
+	}
+	inner, isCall := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !isCall {
+		return false, false
+	}
+	if name, isW := writerMethod(info, inner, w); !isW || name != "Header" {
+		return false, false
+	}
+	if sel.Sel.Name != "Del" && len(call.Args) > 0 {
+		if tv, found := info.Types[call.Args[0]]; found && tv.Value != nil && tv.Value.Kind() == constant.String {
+			if strings.EqualFold(constant.StringVal(tv.Value), "Retry-After") {
+				return true, true
+			}
+		}
+	}
+	return false, true
+}
+
+// commitsResponse reports whether call commits the response on w: a direct
+// WriteHeader/Write, or w handed to a print/stream helper that emits body
+// bytes.
+func commitsResponse(info *types.Info, call *ast.CallExpr, w types.Object) bool {
+	if name, ok := writerMethod(info, call, w); ok {
+		return name == "WriteHeader" || name == "Write"
+	}
+	if !callPassesWriter(info, call, w) {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && (printFamily(fn) || returnsError(fn))
+}
+
+// callPassesWriter reports whether w appears as a direct argument of call.
+func callPassesWriter(info *types.Info, call *ast.CallExpr, w types.Object) bool {
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && usedObject(info, id) == w {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method object, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := usedObject(info, id).(*types.Func)
+	return fn
+}
+
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// printFamily is the sanctioned streaming set: fmt.Fprint* and
+// io.WriteString emit formatted in-memory values, the /metrics idiom; an
+// error from them means the connection is gone, which no buffering fixes.
+func printFamily(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return strings.HasPrefix(fn.Name(), "Fprint")
+	case "io":
+		return fn.Name() == "WriteString"
+	}
+	return false
+}
+
+// rejectionSite reports whether call commits a 429/503 on w: either a
+// direct w.WriteHeader with a constant rejection status, or a helper call
+// given both w and the constant status.
+func rejectionSite(info *types.Info, call *ast.CallExpr, w types.Object) (int, bool) {
+	if name, ok := writerMethod(info, call, w); ok {
+		if name != "WriteHeader" || len(call.Args) != 1 {
+			return 0, false
+		}
+		if code, ok := rejectionStatus(info, call.Args[0]); ok {
+			return code, true
+		}
+		return 0, false
+	}
+	if !callPassesWriter(info, call, w) {
+		return 0, false
+	}
+	for _, arg := range call.Args {
+		if code, ok := rejectionStatus(info, arg); ok {
+			return code, true
+		}
+	}
+	return 0, false
+}
+
+func rejectionStatus(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok || (v != 429 && v != 503) {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// funcDeclsByObj indexes the package's function declarations by their
+// type object, for cheap intra-package callee lookups.
+func funcDeclsByObj(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// calleeSetsRetryAfter reports whether fn is a package-local function
+// whose body sets the Retry-After header on its own writer (the reject()
+// shape): calling such a helper with a constant 429/503 is sanctioned.
+func calleeSetsRetryAfter(decls map[*types.Func]*ast.FuncDecl, fn *types.Func) bool {
+	fd, ok := decls[fn]
+	if !ok || fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Set" && sel.Sel.Name != "Add") || len(call.Args) == 0 {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		innerSel, ok := inner.Fun.(*ast.SelectorExpr)
+		if !ok || innerSel.Sel.Name != "Header" {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok &&
+			strings.EqualFold(strings.Trim(lit.Value, `"`), "Retry-After") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

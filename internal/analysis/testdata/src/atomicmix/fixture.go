@@ -1,0 +1,46 @@
+package atomicmix
+
+import "sync/atomic"
+
+// counters mixes access styles: hits is touched via sync/atomic in
+// bump(), so every other access to it must be atomic too.
+type counters struct {
+	hits  uint64
+	miss  uint64
+	other uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.miss, 1)
+}
+
+// True positive: a plain read of an atomically-updated field tears.
+func (c *counters) read() uint64 {
+	return c.hits // want `plain access to counters\.hits, which is updated via sync/atomic`
+}
+
+// True positive: a plain write is worse — it can lose concurrent adds.
+func (c *counters) mixWrite() {
+	c.hits++ // want `plain access to counters\.hits`
+}
+
+// Sanctioned: atomic access everywhere.
+func (c *counters) loadOK() (uint64, uint64) {
+	return atomic.LoadUint64(&c.hits), atomic.LoadUint64(&c.miss)
+}
+
+// Sanctioned: other is never touched atomically, so plain access to it
+// carries no mixed-mode hazard (it may still need a lock — not this
+// analyzer's question).
+func (c *counters) plainOther() uint64 {
+	c.other++
+	return c.other
+}
+
+// Suppressed: construction-time access before any goroutine can exist.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0 //memexvet:ignore atomicmix zeroing at construction, no concurrent access yet
+	return c
+}

@@ -1,0 +1,44 @@
+package atomicmix
+
+import "sync/atomic"
+
+// Regression: the metrics-counter class. The server's first per-endpoint
+// counter draft bumped request totals with a plain ++ on the handler path
+// while /metrics rendered them through atomic loads — a silent torn read
+// the race detector only reports if a run happens to interleave.
+
+type endpointMetrics struct {
+	requests uint64
+	err5xx   uint64
+}
+
+// The shipped bug shape: plain increment of an atomically-read field.
+func (em *endpointMetrics) record(code int) {
+	em.requests++ // want `plain access to endpointMetrics\.requests`
+	if code >= 500 {
+		em.err5xx++ // want `plain access to endpointMetrics\.err5xx`
+	}
+}
+
+func (em *endpointMetrics) render() (uint64, uint64) {
+	return atomic.LoadUint64(&em.requests), atomic.LoadUint64(&em.err5xx)
+}
+
+// The fix: typed atomics make the mixed-mode access a compile error, so
+// the fixed struct has nothing for this analyzer to see. Reverting
+// recordFixed to a plain field and ++ re-fires the diagnostics above.
+type endpointMetricsFixed struct {
+	requests atomic.Uint64
+	err5xx   atomic.Uint64
+}
+
+func (em *endpointMetricsFixed) record(code int) {
+	em.requests.Add(1)
+	if code >= 500 {
+		em.err5xx.Add(1)
+	}
+}
+
+func (em *endpointMetricsFixed) render() (uint64, uint64) {
+	return em.requests.Load(), em.err5xx.Load()
+}

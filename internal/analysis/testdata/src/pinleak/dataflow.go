@@ -1,0 +1,80 @@
+package pinleak
+
+// Path-sensitive cases the old statement-list walk could not express:
+// these are answered by the CFG dataflow (released-on-all-paths as a
+// forward may-analysis), not by "is there a Release somewhere".
+
+// Released only on one arm of the if: the fall-through path leaks. The
+// pre-CFG checker accepted this shape because *some* Release existed.
+func leakElsePath(s *Store, c bool) {
+	snap := s.Acquire() // want `snap is released at line \d+, but a path reaching the end of the function leaks the pin`
+	if c {
+		snap.Release()
+	}
+}
+
+// Released on both arms: clean, no single dominating Release needed.
+func goodBothArms(s *Store, c bool) {
+	snap := s.Acquire()
+	if c {
+		snap.Release()
+	} else {
+		snap.Release()
+	}
+}
+
+// A switch that releases in every case, with a default, covers all
+// paths.
+func goodSwitchAllPaths(s *Store, x int) {
+	snap := s.Acquire()
+	switch x {
+	case 1:
+		snap.Release()
+	default:
+		snap.Release()
+	}
+}
+
+// Without a default, the no-case-matched path leaves the switch still
+// pinned.
+func leakSwitchNoDefault(s *Store, x int) {
+	snap := s.Acquire() // want `a path reaching the end of the function leaks the pin`
+	switch x {
+	case 1:
+		snap.Release()
+	}
+}
+
+// Acquire/release fully inside a loop body is clean on every iteration.
+func goodLoopReacquire(s *Store) {
+	for i := 0; i < 3; i++ {
+		snap := s.Acquire()
+		snap.Get("k")
+		snap.Release()
+	}
+}
+
+// A break that jumps over the in-loop Release leaks that iteration's
+// pin.
+func leakBreakPath(s *Store, keys []string) {
+	for _, k := range keys {
+		snap := s.Acquire() // want `a path reaching the end of the function leaks the pin`
+		if k == "" {
+			break
+		}
+		snap.Release()
+	}
+}
+
+// Release after the loop covers the break path too: break lands on the
+// statement after the loop, which releases.
+func goodBreakThenRelease(s *Store, keys []string) {
+	snap := s.Acquire()
+	for _, k := range keys {
+		if k == "" {
+			break
+		}
+		snap.Get(k)
+	}
+	snap.Release()
+}

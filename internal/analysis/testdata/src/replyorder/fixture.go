@@ -1,0 +1,108 @@
+package replyorder
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// --- rule 1: commit exactly once ---
+
+// True positive: the 400 arm falls through without a return, so the OK
+// commit below is superfluous on that path.
+func doubleCommit(w http.ResponseWriter, r *http.Request, bad bool) {
+	if bad {
+		w.WriteHeader(http.StatusBadRequest)
+	}
+	w.WriteHeader(http.StatusOK) // want `superfluous w\.WriteHeader: the response is already committed on a path`
+}
+
+// True positive: headers mutated after the commit are silently dropped.
+func lateHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain") // want `w\.Header\(\) is mutated after the response is already committed`
+}
+
+// Sanctioned: headers, then status, then body.
+func goodOrder(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("{}"))
+}
+
+// Sanctioned: the error arm returns, so exactly one commit runs on every
+// path — the CFG separates what a line-order scan cannot.
+func goodEarlyReturn(w http.ResponseWriter, r *http.Request, fail bool) {
+	if fail {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// --- rule 2: no fallible producer streaming into the writer ---
+
+func render(w http.ResponseWriter) error { return nil }
+
+func renderTo(buf *bytes.Buffer) error { return nil }
+
+// True positive: render's first byte commits a 200; its error arrives too
+// late to change the status.
+func leakyStream(w http.ResponseWriter, r *http.Request) {
+	if err := render(w); err != nil { // want `render streams into w and returns an error`
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Sanctioned: render to a buffer, check the error, then write.
+func goodBuffered(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := renderTo(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(buf.Bytes())
+}
+
+// --- rule 3: 429/503 must carry Retry-After ---
+
+// True positive: a bare shed teaches every client to retry immediately.
+func bareShed(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusServiceUnavailable) // want `503 rejection without Retry-After`
+}
+
+// True positive: the helper commits the constant 429 and neither it nor
+// any path into it sets the header.
+func bareHelper(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "slow down", http.StatusTooManyRequests) // want `429 rejection without Retry-After`
+}
+
+// True positive: Retry-After on only one path is a bare 503 on the other
+// — the must-analysis catches the half-covered merge.
+func halfSet(w http.ResponseWriter, r *http.Request, hinted bool) {
+	if hinted {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(http.StatusServiceUnavailable) // want `503 rejection without Retry-After`
+}
+
+// Sanctioned: header first, then the status.
+func goodShed(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+}
+
+// Sanctioned: a local reject helper that sets Retry-After itself covers
+// its call sites (the middleware reject() shape).
+func reject(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, msg, code)
+}
+
+func goodHelperShed(w http.ResponseWriter, r *http.Request) {
+	reject(w, http.StatusServiceUnavailable, "overloaded")
+}
+
+// Suppressed: an audited internal probe endpoint.
+func auditedShed(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusServiceUnavailable) //memexvet:ignore replyorder internal liveness probe, the only client never retries
+}

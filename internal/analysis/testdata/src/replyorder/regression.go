@@ -1,0 +1,55 @@
+package replyorder
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Regressions: the two reply-ordering bugs this repo shipped, in their
+// original shapes. Deleting either fix below re-fires its analyzer line.
+
+type exportEngine struct{}
+
+func (exportEngine) ExportBookmarks(user int64, w io.Writer) error { return nil }
+
+// The handleExport bug: the engine streamed the bookmark tree straight
+// into the ResponseWriter, committing a 200 on the first byte; a failure
+// mid-walk left the client a truncated file with a success status.
+func handleExportBug(w http.ResponseWriter, r *http.Request) {
+	var e exportEngine
+	if err := e.ExportBookmarks(1, w); err != nil { // want `ExportBookmarks streams into w and returns an error`
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// The fix: buffer, check, then commit — an engine failure is now a 500.
+func handleExportFixed(w http.ResponseWriter, r *http.Request) {
+	var e exportEngine
+	var buf bytes.Buffer
+	if err := e.ExportBookmarks(1, &buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func writeErrJSON(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write([]byte(`{"error":` + strconv.Quote(msg) + `}`))
+}
+
+// The bare-503 bug: the first shed path answered with a plain 503 and no
+// Retry-After, so a shed robot fleet retried in lockstep one RTT later.
+func shedBug(w http.ResponseWriter, r *http.Request) {
+	writeErrJSON(w, http.StatusServiceUnavailable, "overloaded") // want `503 rejection without Retry-After`
+}
+
+// The fix: every rejection sets the back-off hint before committing.
+func shedFixed(w http.ResponseWriter, r *http.Request, retrySec int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retrySec))
+	writeErrJSON(w, http.StatusServiceUnavailable, "overloaded")
+}

@@ -1,0 +1,95 @@
+package viewescape
+
+// Store/View mirror the version store's pin API: Acquire pins an epoch,
+// Release unpins it. ViewEscape's question is whether a reference
+// outlives its pin.
+
+type Store struct{}
+
+type View struct{}
+
+func (s *Store) Acquire() *View { return &View{} }
+
+func (v *View) Release() {}
+
+func (v *View) Get(k string) string { return "" }
+
+var globalView *View
+
+var views = make(chan *View, 1)
+
+type holder struct{ v *View }
+
+// True positive: the global keeps the reference after the pin dies.
+func leakGlobal(s *Store) {
+	v := s.Acquire()
+	globalView = v
+	v.Release() // want `v is released here but escaped to a global at line \d+`
+}
+
+// True positive: deferred Release runs at exit, strictly after the field
+// store on every path.
+func leakField(s *Store, h *holder) {
+	v := s.Acquire()
+	defer v.Release()
+	h.v = v // want `pinned v escapes to a struct field but its Release is deferred`
+}
+
+// True positive: the channel consumer receives a reference whose pin this
+// function kills.
+func leakChan(s *Store) {
+	v := s.Acquire()
+	views <- v
+	v.Release() // want `v is released here but escaped to a channel at line \d+`
+}
+
+// True positive: the goroutine may still be reading when the pin dies.
+func leakGoroutine(s *Store) {
+	v := s.Acquire()
+	go func() {
+		_ = v.Get("k")
+	}()
+	v.Release() // want `v is released here but escaped to a goroutine at line \d+`
+}
+
+// True positive: storing after Release hands the consumer a dead view.
+func leakDeadView(s *Store, h *holder) {
+	v := s.Acquire()
+	v.Release()
+	h.v = v // want `pinned v escapes to a struct field after being released`
+}
+
+// Sanctioned: ownership moves into the goroutine, which releases it.
+func goodHandoff(s *Store) {
+	v := s.Acquire()
+	go func() {
+		defer v.Release()
+		_ = v.Get("k")
+	}()
+}
+
+// Sanctioned: escape and Release on disjoint paths is the hand-off idiom
+// — the branch that stores transfers ownership and returns; the other
+// releases. Only a path carrying both events is a bug.
+func goodBranchHandoff(s *Store, keep bool) {
+	v := s.Acquire()
+	if keep {
+		globalView = v
+		return
+	}
+	v.Release()
+}
+
+// Sanctioned: plain scoped use.
+func goodLinear(s *Store) {
+	v := s.Acquire()
+	defer v.Release()
+	_ = v.Get("k")
+}
+
+// Suppressed: audited test-fixture stash.
+func auditedStash(s *Store) {
+	v := s.Acquire()
+	globalView = v
+	v.Release() //memexvet:ignore viewescape process-lifetime stash in a test binary, released only at exit
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ViewEscape enforces the other half of the pin lifecycle: pinleak proves
+// a pin is released, ViewEscape proves nothing still holds the view when
+// that happens. A pinned DerivedView/Snapshot stored to a struct field,
+// global, channel, or spawned goroutine outlives the function — if the
+// same function also releases the pin, the stored reference is a dead
+// view: its epoch floor is gone, and the layers it reads can be folded or
+// GC'd out from under it at any moment. The failure is silent (reads
+// return stale or missing data, no panic), which is why it needs a static
+// gate.
+//
+// Ownership transfer is the sanctioned pattern: either the reference
+// escapes and the *consumer* releases (no Release here), or the function
+// releases and nothing escapes. The analysis is path-sensitive on the
+// CFG: an escape on one branch paired with a Release on a disjoint branch
+// is the hand-off idiom and stays clean; only a path carrying both events
+// — in either order — is flagged. A goroutine that releases the view
+// itself took ownership and is not an escape; a deferred Release always
+// outlives every escape and is always flagged.
+var ViewEscape = &Analyzer{
+	Name: "viewescape",
+	Doc: "check that a pinned DerivedView/Snapshot never escapes to a field, global, " +
+		"channel, or goroutine on a path that also releases it",
+	Run: runViewEscape,
+}
+
+// An escapeSite is one place a pinned view leaves the function's control.
+type escapeSite struct {
+	node ast.Node
+	kind string // "a struct field", "a global", …
+}
+
+func runViewEscape(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for obj := range pinnedVars(pass, body) {
+				checkViewEscape(pass, body, obj)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pinnedVars finds `v := x.Acquire()` / `v := x.DerivedSnapshot(...)`
+// bindings in body (not in nested closures, which get their own walk).
+func pinnedVars(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.CallExpr {
+	out := map[types.Object]*ast.CallExpr{}
+	walkNode(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		_, name, call, ok := methodCall(as.Rhs[0])
+		if !ok || !acquireMethods[name] {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok || !hasMethod(pass.Pkg, tv.Type, "Release") {
+			return true
+		}
+		if obj := usedObject(pass.TypesInfo, id); obj != nil {
+			out[obj] = call
+		}
+		return true
+	})
+	return out
+}
+
+// Event bits for the path analysis.
+const (
+	veEscaped  = 1
+	veReleased = 2
+)
+
+func joinOr(a, b int) int { return a | b }
+
+func checkViewEscape(pass *Pass, body *ast.BlockStmt, obj types.Object) {
+	escapes := map[ast.Node]escapeSite{}
+	walkNode(body, func(n ast.Node) bool {
+		for _, e := range escapesIn(pass, n, obj) {
+			escapes[e.node] = e
+		}
+		return true
+	})
+	if len(escapes) == 0 {
+		return
+	}
+
+	// A deferred Release runs at function exit, strictly after every
+	// escape on every path: all escapes are use-after-release hazards.
+	if deferReleases(pass.TypesInfo, body, obj) {
+		for _, e := range escapes {
+			pass.Reportf(e.node.Pos(),
+				"pinned %s escapes to %s but its Release is deferred: the stored reference outlives the pin; transfer ownership (drop the defer) or copy the data out first",
+				obj.Name(), e.kind)
+		}
+		return
+	}
+
+	cfg := buildCFG(body)
+	prob := flowProblem{
+		join: joinOr,
+		transfer: func(n ast.Node, f facts) {
+			if len(escapesIn(pass, n, obj)) > 0 {
+				f[obj] |= veEscaped
+			}
+			if releasesOutsideGo(pass.TypesInfo, n, obj) {
+				f[obj] |= veReleased
+			}
+		},
+	}
+	res := run(cfg, prob)
+
+	reported := map[ast.Node]bool{}
+	visitWithFacts(cfg, res, prob, func(n ast.Node, before facts) {
+		// Release reached with a live escape on this path: the escaped
+		// reference outlives the pin.
+		if before[obj]&veEscaped != 0 && releasesOutsideGo(pass.TypesInfo, n, obj) {
+			first := firstEscape(escapes)
+			pass.Reportf(n.Pos(),
+				"%s is released here but escaped to %s at line %d on this path: the stored reference outlives the pin; hand ownership to the consumer instead of releasing",
+				obj.Name(), first.kind, pass.Fset.Position(first.node.Pos()).Line)
+		}
+		// Escape after a Release on this path: the consumer receives a
+		// dead view.
+		for _, e := range escapesIn(pass, n, obj) {
+			if before[obj]&veReleased != 0 && !reported[e.node] {
+				reported[e.node] = true
+				pass.Reportf(e.node.Pos(),
+					"pinned %s escapes to %s after being released on a path reaching this line: the consumer receives a dead view",
+					obj.Name(), e.kind)
+			}
+		}
+	})
+}
+
+// firstEscape picks the syntactically earliest escape for the diagnostic.
+func firstEscape(escapes map[ast.Node]escapeSite) escapeSite {
+	var best escapeSite
+	var bestPos token.Pos = -1
+	for _, e := range escapes {
+		if bestPos < 0 || e.node.Pos() < bestPos {
+			best, bestPos = e, e.node.Pos()
+		}
+	}
+	return best
+}
+
+// escapesIn lists the escape events executing n performs on obj: stores
+// to fields, globals or indexed elements, channel sends, and goroutine
+// captures. Function literal subtrees are not entered except via the
+// GoStmt case — a closure that merely mentions the view runs under this
+// function's control, but a spawned goroutine does not.
+func escapesIn(pass *Pass, n ast.Node, obj types.Object) []escapeSite {
+	var out []escapeSite
+	walkNode(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) != len(m.Rhs) {
+				return true
+			}
+			for i, rhs := range m.Rhs {
+				if !isObjUse(pass.TypesInfo, rhs, obj) {
+					continue
+				}
+				if kind := storeKind(pass, m.Lhs[i]); kind != "" {
+					out = append(out, escapeSite{m, kind})
+				}
+			}
+		case *ast.SendStmt:
+			if isObjUse(pass.TypesInfo, m.Value, obj) {
+				out = append(out, escapeSite{m, "a channel"})
+			}
+		case *ast.GoStmt:
+			if goCaptures(pass.TypesInfo, m, obj) {
+				out = append(out, escapeSite{m, "a goroutine"})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isObjUse reports whether e is obj itself (possibly parenthesized or
+// address-taken).
+func isObjUse(info *types.Info, e ast.Expr, obj types.Object) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && usedObject(info, id) == obj
+}
+
+// storeKind classifies an assignment target that outlives the function:
+// "" means a local (no escape).
+func storeKind(pass *Pass, lhs ast.Expr) string {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return "a struct field"
+	case *ast.IndexExpr:
+		return "a map or slice element"
+	case *ast.StarExpr:
+		return "a shared pointer target"
+	case *ast.Ident:
+		if v, ok := usedObject(pass.TypesInfo, l).(*types.Var); ok && pass.Pkg != nil && v.Parent() == pass.Pkg.Scope() {
+			return "a global"
+		}
+	}
+	return ""
+}
+
+// goCaptures reports whether the spawned goroutine receives obj — as a
+// call argument or captured by its closure — without releasing it itself
+// (a goroutine that releases the view took ownership: sanctioned).
+func goCaptures(info *types.Info, g *ast.GoStmt, obj types.Object) bool {
+	uses := false
+	ast.Inspect(g.Call, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && usedObject(info, id) == obj {
+			uses = true
+		}
+		return !uses
+	})
+	if !uses {
+		return false
+	}
+	releases := false
+	ast.Inspect(g.Call, func(m ast.Node) bool {
+		if isReleaseCall(info, m, obj) {
+			releases = true
+		}
+		return !releases
+	})
+	return !releases
+}
+
+// releasesOutsideGo reports whether executing n calls obj.Release() under
+// this function's control — including inside plain or deferred closures,
+// but not inside a spawned goroutine, whose Release is its own.
+func releasesOutsideGo(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isGo := m.(*ast.GoStmt); isGo {
+			return false
+		}
+		if isReleaseCall(info, m, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

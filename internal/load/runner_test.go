@@ -246,7 +246,7 @@ func TestGateFailsOnLostWrites(t *testing.T) {
 func TestGateFailsOnShedWithoutRetryAfter(t *testing.T) {
 	ts := stubTarget(func(w http.ResponseWriter, r *http.Request) {
 		// Deliberately no Retry-After header.
-		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+		http.Error(w, "overloaded", http.StatusServiceUnavailable) //memexvet:ignore replyorder this stub reproduces the bare-503 misbehavior the gate must catch
 	})
 	defer ts.Close()
 
